@@ -1,0 +1,181 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation section at a reduced scale (miniature statistical twins of the
+datasets, fewer global rounds, smaller embeddings) so the whole suite runs
+on a single CPU core.  The *shape* of each result — which method wins, by
+roughly what factor, where the trends bend — is the reproduction target;
+absolute values are recorded against the paper's numbers in
+EXPERIMENTS.md.
+
+All experiment work runs exactly once per benchmark via
+``benchmark.pedantic(..., rounds=1, iterations=1)``; the printed tables are
+the real deliverable, the timing is incidental.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import pytest
+
+from repro.centralized import CentralizedConfig, CentralizedTrainer
+from repro.core import PTFConfig, PTFFedRec
+from repro.data import MINI_SPECS, InteractionDataset, generate_dataset
+from repro.eval import RankingEvaluator
+from repro.federated import FCF, FederatedConfig, FedMF, MetaMF
+from repro.models import create_model
+from repro.utils import RngFactory
+
+#: Evaluation depth used throughout (the paper reports Recall@20 / NDCG@20).
+TOP_K = 20
+
+#: Global seed for every benchmark.
+SEED = 2024
+
+#: Mini datasets stand in for the paper's three datasets (see DESIGN.md).
+DATASET_NAMES = ("movielens-mini", "steam-mini", "gowalla-mini")
+
+#: Maps the mini dataset names onto the paper's dataset names for display.
+PAPER_NAMES = {
+    "movielens-mini": "MovieLens-100K",
+    "steam-mini": "Steam-200K",
+    "gowalla-mini": "Gowalla",
+}
+
+
+def build_dataset(name: str, seed: int = SEED) -> InteractionDataset:
+    """Create the miniature statistical twin for one of the paper datasets."""
+    spec = MINI_SPECS[name]
+    return generate_dataset(spec, rng=RngFactory(seed).spawn(f"dataset-{name}"))
+
+
+def mini_ptf_config(**overrides) -> PTFConfig:
+    """PTF-FedRec configuration adapted to the miniature datasets.
+
+    The paper's full-scale settings (batch 1024, learning rate 0.001, 20
+    rounds) assume ~100k uploaded predictions per round; at mini scale the
+    server would only take a handful of optimizer steps, so the benchmarks
+    shrink the server batch and raise the learning rate while keeping every
+    protocol-level hyper-parameter (α, β, γ, λ, µ, negative ratio) at the
+    paper's values.
+    """
+    defaults = dict(
+        rounds=10,
+        client_local_epochs=3,
+        server_epochs=3,
+        client_batch_size=64,
+        server_batch_size=128,
+        learning_rate=0.01,
+        embedding_dim=16,
+        client_mlp_layers=(32, 16, 8),
+        server_num_layers=3,
+        alpha=30,
+        seed=SEED,
+    )
+    defaults.update(overrides)
+    return PTFConfig(**defaults)
+
+
+def mini_federated_config(**overrides) -> FederatedConfig:
+    """Configuration for the parameter-transmission baselines at mini scale."""
+    defaults = dict(
+        rounds=10,
+        local_epochs=2,
+        local_learning_rate=0.05,
+        embedding_dim=16,
+        negative_ratio=4,
+        seed=SEED,
+    )
+    defaults.update(overrides)
+    return FederatedConfig(**defaults)
+
+
+def mini_centralized_config(**overrides) -> CentralizedConfig:
+    """Configuration for centralized training at mini scale."""
+    defaults = dict(
+        epochs=30,
+        batch_size=256,
+        learning_rate=0.01,
+        negative_ratio=4,
+        seed=SEED,
+    )
+    defaults.update(overrides)
+    return CentralizedConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Experiment runners shared by several benchmarks
+# ----------------------------------------------------------------------
+#: Per-model centralized training tweaks at mini scale: NeuMF and NGCF need
+#: a little L2 to avoid overfitting the tiny datasets, while LightGCN (no
+#: transformation weights) trains longer without weight decay.
+_CENTRALIZED_OVERRIDES = {
+    "neumf": {"epochs": 30, "l2_weight": 5e-4},
+    "ngcf": {"epochs": 30, "l2_weight": 5e-4},
+    "lightgcn": {"epochs": 60, "l2_weight": 0.0},
+    "mf": {"epochs": 30, "l2_weight": 0.0},
+}
+
+
+def run_centralized(dataset: InteractionDataset, model_name: str) -> Dict[str, float]:
+    """Train a centralized model and return Recall@20 / NDCG@20."""
+    model = create_model(
+        model_name,
+        dataset.num_users,
+        dataset.num_items,
+        embedding_dim=16,
+        rng=RngFactory(SEED).spawn(f"centralized-{model_name}-{dataset.name}"),
+    )
+    overrides = _CENTRALIZED_OVERRIDES.get(model_name.lower(), {})
+    trainer = CentralizedTrainer(model, dataset, mini_centralized_config(**overrides))
+    trainer.fit()
+    result = trainer.evaluate(k=TOP_K)
+    return {"Recall@20": result.recall, "NDCG@20": result.ndcg}
+
+
+def run_federated_baseline(dataset: InteractionDataset, name: str):
+    """Train one parameter-transmission baseline; returns (metrics, system)."""
+    factories = {"FCF": FCF, "FedMF": FedMF, "MetaMF": MetaMF}
+    system = factories[name](dataset, mini_federated_config())
+    system.fit()
+    result = system.evaluate(k=TOP_K)
+    return {"Recall@20": result.recall, "NDCG@20": result.ndcg}, system
+
+
+def run_ptf(dataset: InteractionDataset, server_model: str, **config_overrides):
+    """Train PTF-FedRec with the given server model; returns (metrics, system)."""
+    config = mini_ptf_config(server_model=server_model, **config_overrides)
+    system = PTFFedRec(dataset, config)
+    system.fit()
+    result = system.evaluate(k=TOP_K)
+    return {"Recall@20": result.recall, "NDCG@20": result.ndcg}, system
+
+
+# ----------------------------------------------------------------------
+# Output helpers
+# ----------------------------------------------------------------------
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print an aligned text table (the benchmark's real output)."""
+    rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(column) for column in header]
+    for row in rows:
+        widths = [max(width, len(cell)) for width, cell in zip(widths, row)]
+    line = "  ".join(name.ljust(width) for name, width in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+
+
+def _format_cell(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+@pytest.fixture(scope="session")
+def mini_datasets() -> Dict[str, InteractionDataset]:
+    """The three miniature datasets, built once per benchmark session."""
+    return {name: build_dataset(name) for name in DATASET_NAMES}

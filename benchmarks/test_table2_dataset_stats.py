@@ -1,0 +1,48 @@
+"""Table II — statistics of the three datasets.
+
+The paper reports #Users, #Items, #Interactions, average profile length and
+density for MovieLens-100K, Steam-200K and Gowalla.  This bench prints the
+same rows twice: once for the full-size statistical twins (matching the
+paper's numbers by construction) and once for the miniature presets every
+other bench runs on.
+"""
+
+from __future__ import annotations
+
+from conftest import DATASET_NAMES, PAPER_NAMES, build_dataset, print_table
+
+from repro.data import PAPER_SPECS
+
+
+def _run():
+    full_rows = []
+    for key, spec in PAPER_SPECS.items():
+        full_rows.append([
+            key,
+            spec.num_users,
+            spec.num_items,
+            spec.num_interactions,
+            round(spec.num_interactions / spec.num_users, 1),
+            f"{100.0 * spec.num_interactions / (spec.num_users * spec.num_items):.2f}%",
+        ])
+    mini_rows = []
+    for name in DATASET_NAMES:
+        stats = build_dataset(name).stats()
+        row = stats.as_row()
+        mini_rows.append([
+            f"{row['dataset']} (for {PAPER_NAMES[name]})",
+            row["#Users"],
+            row["#Items"],
+            row["#Interactions"],
+            row["Average Length"],
+            row["Density"],
+        ])
+    return full_rows, mini_rows
+
+
+def test_table2_dataset_statistics(benchmark):
+    full_rows, mini_rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header = ["Dataset", "#Users", "#Items", "#Interactions", "Avg Length", "Density"]
+    print_table("Table II — full-size statistical twins (paper scale)", header, full_rows)
+    print_table("Table II — miniature presets used by the benches", header, mini_rows)
+    assert len(full_rows) == 3 and len(mini_rows) == 3

@@ -1,0 +1,80 @@
+"""Communication budget planning for a federated recommender deployment.
+
+The paper's Table IV compares per-client, per-round traffic.  This script
+answers the deployment question behind it: as the item catalogue grows,
+how many bytes does each framework push through every client's connection
+per round, and what does that mean for a whole training run?
+
+Everything here is computed with the same byte-level cost models the
+simulators use (4-byte floats, 64-byte ciphertexts for FedMF's
+homomorphic encryption, 12-byte prediction triples).
+
+Run with::
+
+    python examples/communication_budget.py
+"""
+
+from __future__ import annotations
+
+from repro.federated import (
+    dense_parameter_bytes,
+    encrypted_parameter_bytes,
+    prediction_triple_bytes,
+)
+from repro.federated.fedmf import DEFAULT_CIPHERTEXT_BYTES
+
+EMBEDDING_DIM = 32
+ROUNDS = 20
+AVERAGE_PROFILE = 50          # interactions per user
+ALPHA = 30                    # server-dispersed items per round
+EXPECTED_BETA = 0.55          # mean of the paper's beta range [0.1, 1]
+EXPECTED_GAMMA = 2.5          # mean of the paper's gamma range [1, 4]
+
+CATALOGUE_SIZES = (1_000, 5_000, 10_000, 50_000, 100_000, 500_000)
+
+
+def per_round_costs(num_items: int) -> dict:
+    item_values = num_items * EMBEDDING_DIM
+    meta_values = item_values + 2 * (EMBEDDING_DIM * EMBEDDING_DIM + EMBEDDING_DIM)
+    upload_triples = int(EXPECTED_BETA * AVERAGE_PROFILE * (1 + EXPECTED_GAMMA))
+    return {
+        "FCF": 2 * dense_parameter_bytes(item_values),
+        "FedMF": 2 * encrypted_parameter_bytes(item_values, DEFAULT_CIPHERTEXT_BYTES),
+        "MetaMF": 2 * dense_parameter_bytes(meta_values),
+        "PTF-FedRec": prediction_triple_bytes(upload_triples + ALPHA),
+    }
+
+
+def human(num_bytes: float) -> str:
+    for unit, factor in (("GB", 2**30), ("MB", 2**20), ("KB", 2**10)):
+        if num_bytes >= factor:
+            return f"{num_bytes / factor:.2f} {unit}"
+    return f"{num_bytes:.0f} B"
+
+
+def main() -> None:
+    print("Per-client, per-round traffic as the item catalogue grows")
+    print(f"(embedding dim {EMBEDDING_DIM}, {AVERAGE_PROFILE} interactions/user, "
+          f"alpha={ALPHA})\n")
+    header = f"{'#items':>10} {'FCF':>12} {'FedMF (HE)':>12} {'MetaMF':>12} {'PTF-FedRec':>12}"
+    print(header)
+    print("-" * len(header))
+    for num_items in CATALOGUE_SIZES:
+        costs = per_round_costs(num_items)
+        print(f"{num_items:>10,} {human(costs['FCF']):>12} {human(costs['FedMF']):>12} "
+              f"{human(costs['MetaMF']):>12} {human(costs['PTF-FedRec']):>12}")
+
+    print(f"\nTotal per client for a full {ROUNDS}-round training run "
+          f"(100k-item catalogue):")
+    costs = per_round_costs(100_000)
+    for method, per_round in costs.items():
+        print(f"  {method:<12} {human(per_round * ROUNDS)}")
+
+    print("\nTakeaway: parameter-transmission FedRecs scale with the catalogue")
+    print("(every client repeatedly downloads and uploads the full item table),")
+    print("while PTF-FedRec scales with the user's own activity and stays in")
+    print("the kilobyte range regardless of how large the catalogue grows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Model-IP scenario: the server iterates on its proprietary model.
+
+The motivation in the paper's introduction: the recommendation model is the
+service provider's intellectual property, so the provider wants to improve
+and swap its model freely *without ever shipping it to clients*.  In
+PTF-FedRec the clients only ever see prediction scores, so the provider can
+trial different hidden architectures (NeuMF, NGCF, LightGCN) against the
+same fleet of client devices and pick the best one — exactly what this
+script does.
+
+Run with::
+
+    python examples/model_marketplace.py
+"""
+
+from __future__ import annotations
+
+from repro.core import PTFConfig, PTFFedRec
+from repro.data import movielens_100k
+from repro.utils import RngFactory
+
+CANDIDATE_SERVER_MODELS = ("neumf", "ngcf", "lightgcn")
+SEED = 21
+
+
+def trial(dataset, server_model: str) -> dict:
+    config = PTFConfig(
+        server_model=server_model,
+        client_model="neumf",        # the public, on-device model never changes
+        rounds=10,
+        client_local_epochs=3,
+        server_epochs=3,
+        server_batch_size=128,
+        learning_rate=0.01,
+        embedding_dim=16,
+        client_mlp_layers=(32, 16, 8),
+        seed=SEED,
+    )
+    system = PTFFedRec(dataset, config)
+    system.fit()
+    result = system.evaluate(k=20)
+    server_params = sum(p.size for p in system.server.model.parameters())
+    return {
+        "server_model": server_model.upper(),
+        "recall": result.recall,
+        "ndcg": result.ndcg,
+        "hidden_parameters": server_params,
+        "kb_per_round": system.average_client_round_kilobytes(),
+    }
+
+
+def main() -> None:
+    dataset = movielens_100k(RngFactory(SEED).spawn("dataset"), scale=0.1)
+    print(f"Dataset: {dataset}")
+    print("Clients always run the public NeuMF; the provider trials hidden server models.\n")
+
+    header = (f"{'Hidden server model':<20} {'Recall@20':>10} {'NDCG@20':>10} "
+              f"{'Hidden params':>14} {'KB/client/round':>16}")
+    print(header)
+    print("-" * len(header))
+    results = []
+    for server_model in CANDIDATE_SERVER_MODELS:
+        row = trial(dataset, server_model)
+        results.append(row)
+        print(f"{row['server_model']:<20} {row['recall']:>10.4f} {row['ndcg']:>10.4f} "
+              f"{row['hidden_parameters']:>14,} {row['kb_per_round']:>16.2f}")
+
+    best = max(results, key=lambda row: row["ndcg"])
+    print(f"\nThe provider would deploy {best['server_model']} — and at no point did any")
+    print("of its parameters, or even its architecture, leave the server: clients only")
+    print("ever exchanged prediction scores, and the traffic stayed identical across")
+    print("candidates because it depends on the protocol, not on the hidden model.")
+
+
+if __name__ == "__main__":
+    main()

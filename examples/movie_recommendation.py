@@ -1,0 +1,91 @@
+"""Movie recommendation scenario: centralized vs federated vs PTF-FedRec.
+
+Reproduces the spirit of the paper's Table III on a small MovieLens-like
+dataset: how much ranking quality does each training regime deliver, and
+what does it cost in communication?
+
+* Centralized NGCF — the ceiling: one party sees all raw data.
+* FCF / FedMF / MetaMF — traditional parameter-transmission FedRecs: raw
+  data stays on devices but the model (and megabytes of parameters per
+  round) are exposed to every participant.
+* PTF-FedRec(NGCF) — the paper's framework: raw data stays on devices AND
+  the server model stays hidden; only kilobytes of predictions move.
+
+Run with::
+
+    python examples/movie_recommendation.py
+"""
+
+from __future__ import annotations
+
+from repro.centralized import CentralizedConfig, CentralizedTrainer
+from repro.core import PTFConfig, PTFFedRec
+from repro.data import movielens_100k
+from repro.federated import FCF, FederatedConfig, FedMF, MetaMF
+from repro.models import create_model
+from repro.utils import RngFactory
+
+TOP_K = 20
+SEED = 7
+
+
+def evaluate_centralized(dataset) -> dict:
+    model = create_model("ngcf", dataset.num_users, dataset.num_items,
+                         embedding_dim=16, rng=RngFactory(SEED).spawn("central"))
+    trainer = CentralizedTrainer(
+        model, dataset,
+        CentralizedConfig(epochs=30, batch_size=256, learning_rate=0.01,
+                          l2_weight=5e-4, seed=SEED),
+    )
+    trainer.fit()
+    result = trainer.evaluate(k=TOP_K)
+    return {"method": "Centralized NGCF", "recall": result.recall, "ndcg": result.ndcg,
+            "kb_per_round": 0.0, "model_exposed": "n/a (no federation)"}
+
+
+def evaluate_baseline(dataset, name) -> dict:
+    factories = {"FCF": FCF, "FedMF": FedMF, "MetaMF": MetaMF}
+    system = factories[name](dataset, FederatedConfig(rounds=10, local_epochs=2,
+                                                      embedding_dim=16, seed=SEED))
+    system.fit()
+    result = system.evaluate(k=TOP_K)
+    return {"method": name, "recall": result.recall, "ndcg": result.ndcg,
+            "kb_per_round": system.average_client_round_kilobytes(),
+            "model_exposed": "yes (parameters shipped to clients)"}
+
+
+def evaluate_ptf(dataset) -> dict:
+    config = PTFConfig(server_model="ngcf", rounds=10, client_local_epochs=3,
+                       server_epochs=3, server_batch_size=128, learning_rate=0.01,
+                       embedding_dim=16, client_mlp_layers=(32, 16, 8), seed=SEED)
+    system = PTFFedRec(dataset, config)
+    system.fit()
+    result = system.evaluate(k=TOP_K)
+    return {"method": "PTF-FedRec(NGCF)", "recall": result.recall, "ndcg": result.ndcg,
+            "kb_per_round": system.average_client_round_kilobytes(),
+            "model_exposed": "no (predictions only)"}
+
+
+def main() -> None:
+    dataset = movielens_100k(RngFactory(SEED).spawn("dataset"), scale=0.1)
+    print(f"Dataset: {dataset}\n")
+
+    rows = [evaluate_centralized(dataset)]
+    for name in ("FCF", "FedMF", "MetaMF"):
+        rows.append(evaluate_baseline(dataset, name))
+    rows.append(evaluate_ptf(dataset))
+
+    header = f"{'Method':<20} {'Recall@20':>10} {'NDCG@20':>10} {'KB/client/round':>16}  Server model exposed?"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['method']:<20} {row['recall']:>10.4f} {row['ndcg']:>10.4f} "
+              f"{row['kb_per_round']:>16.2f}  {row['model_exposed']}")
+
+    print("\nTakeaway: PTF-FedRec approaches the centralized ceiling while its")
+    print("communication stays in the kilobyte range and the server model never")
+    print("leaves the server.")
+
+
+if __name__ == "__main__":
+    main()

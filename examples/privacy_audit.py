@@ -1,0 +1,80 @@
+"""Privacy audit: how much can a curious server infer from the uploads?
+
+Reproduces the paper's Table V scenario as a runnable script.  A client's
+uploaded prediction dataset is attacked with the "Top Guess Attack" (the
+server guesses the top-scoring 20% of uploaded items as the user's true
+positives) under four defenses:
+
+* no defense (upload predictions for every trained item),
+* local differential privacy (Laplace noise on the scores),
+* sampling (random β fraction of positives, random γ negative ratio),
+* sampling + swapping (the paper's full mechanism).
+
+For each defense the script reports the attack's F1 and the server model's
+NDCG@20, i.e. the privacy/utility trade-off.
+
+Run with::
+
+    python examples/privacy_audit.py
+"""
+
+from __future__ import annotations
+
+from repro.core import PTFConfig, PTFFedRec
+from repro.data import movielens_100k
+from repro.utils import RngFactory
+
+DEFENSES = ("none", "ldp", "sampling", "sampling+swapping")
+LABELS = {
+    "none": "No Defense",
+    "ldp": "LDP (Laplace noise)",
+    "sampling": "Sampling",
+    "sampling+swapping": "Sampling + Swapping",
+}
+
+
+def run_defense(dataset, defense: str) -> dict:
+    config = PTFConfig(
+        server_model="ngcf",
+        defense=defense,
+        rounds=6,
+        client_local_epochs=3,
+        server_epochs=3,
+        server_batch_size=128,
+        learning_rate=0.01,
+        embedding_dim=16,
+        client_mlp_layers=(32, 16, 8),
+        seed=13,
+    )
+    system = PTFFedRec(dataset, config)
+    system.fit()
+    ranking = system.evaluate(k=20)
+    attack = system.audit_privacy(guess_ratio=0.2)
+    return {"f1": attack.mean_f1, "ndcg": ranking.ndcg, "clients": attack.num_clients}
+
+
+def main() -> None:
+    dataset = movielens_100k(RngFactory(13).spawn("dataset"), scale=0.1)
+    print(f"Dataset: {dataset}\n")
+    print(f"{'Defense':<24} {'Attack F1 (lower=better)':>26} {'NDCG@20 (higher=better)':>25}")
+    print("-" * 78)
+    results = {}
+    for defense in DEFENSES:
+        results[defense] = run_defense(dataset, defense)
+        row = results[defense]
+        print(f"{LABELS[defense]:<24} {row['f1']:>26.4f} {row['ndcg']:>25.4f}")
+
+    base = results["none"]
+    print("\nCost-effectiveness (ΔF1 / ΔNDCG versus no defense, higher = cheaper protection):")
+    for defense in ("ldp", "sampling", "sampling+swapping"):
+        delta_f1 = base["f1"] - results[defense]["f1"]
+        delta_ndcg = max(base["ndcg"] - results[defense]["ndcg"], 1e-4)
+        print(f"  {LABELS[defense]:<24} {delta_f1 / delta_ndcg:8.1f}")
+
+    print("\nTakeaway: the undefended upload leaks the user's positives almost")
+    print("perfectly; sampling (and swapping) remove most of that leakage at a")
+    print("fraction of the utility cost of Laplace noise.")
+
+
+if __name__ == "__main__":
+    main()

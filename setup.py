@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package and no network access,
+so PEP 660 editable installs (``pip install -e .``) cannot build the
+editable wheel.  ``python setup.py develop`` provides the same editable
+install through the legacy egg-link path; all project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

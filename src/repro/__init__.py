@@ -1,0 +1,48 @@
+"""PTF-FedRec: parameter transmission-free federated recommendation.
+
+Reproduction of "Hide Your Model: A Parameter Transmission-free Federated
+Recommender System" (ICDE 2024).  The package is organised bottom-up:
+
+* :mod:`repro.tensor`, :mod:`repro.nn`, :mod:`repro.optim` — a NumPy
+  autograd / neural-network substrate (stand-in for PyTorch),
+* :mod:`repro.data` — interaction datasets and synthetic workload
+  generators matched to the paper's dataset statistics,
+* :mod:`repro.models` — NeuMF, NGCF, LightGCN and matrix factorization,
+* :mod:`repro.eval` — Recall@K / NDCG@K ranking evaluation,
+* :mod:`repro.centralized` — centralized training baselines,
+* :mod:`repro.federated` — parameter transmission-based FedRec baselines
+  (FCF, FedMF, MetaMF) with byte-level communication accounting,
+* :mod:`repro.core` — PTF-FedRec itself: clients, server, the
+  prediction-exchange protocol, privacy defenses and the Top Guess Attack.
+
+Quickstart::
+
+    from repro.core import PTFFedRec, PTFConfig
+    from repro.data import movielens_100k
+    from repro.utils import RngFactory
+
+    dataset = movielens_100k(RngFactory(0).spawn("data"), scale=0.2)
+    system = PTFFedRec(dataset, PTFConfig(rounds=10, server_model="ngcf"))
+    system.fit()
+    print(system.evaluate(k=20).as_dict())
+"""
+
+from repro import core, data, eval, federated, models, nn, optim, tensor, utils
+from repro.core import PTFConfig, PTFFedRec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "data",
+    "eval",
+    "federated",
+    "models",
+    "nn",
+    "optim",
+    "tensor",
+    "utils",
+    "PTFConfig",
+    "PTFFedRec",
+    "__version__",
+]

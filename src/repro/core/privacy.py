@@ -1,0 +1,142 @@
+"""Privacy-preserving construction of the client's uploaded dataset ``D̂_i``.
+
+Section III-B2 of the paper: uploading predictions for *all* trained items
+lets a curious server run the "Top Guess Attack" (treat the top γ·|V_t|
+scores as the user's positives).  PTF-FedRec defends with
+
+* **sampling** — upload only a random fraction β of the positives and a
+  random ratio γ of negatives, so the server no longer knows the
+  positive/negative ratio of the uploaded set (noise-free differential
+  privacy via subsampling), and
+* **swapping** — exchange the scores of a fraction λ of the
+  highest-scoring positives with scores of negatives, perturbing the
+  order information that the attack exploits.
+
+Local differential privacy (Laplace noise on the scores) is implemented as
+the comparison defense used in Tables V and VI.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def sample_upload_items(
+    positive_items: np.ndarray,
+    negative_items: np.ndarray,
+    beta: float,
+    gamma: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Select the uploaded subset ``V̂_i`` from the trained item pool.
+
+    ``beta`` is the fraction of positive items to upload; ``gamma`` is the
+    negative-to-positive ratio of the uploaded set (Eq. 7).  At least one
+    positive is always kept (the paper's β lower bound is 0.1), and the
+    negative count is capped by the available pool.
+    """
+    positive_items = np.asarray(positive_items, dtype=np.int64)
+    negative_items = np.asarray(negative_items, dtype=np.int64)
+    if not 0.0 < beta <= 1.0:
+        raise ValueError(f"beta must be in (0, 1], got {beta}")
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+
+    num_positive = max(1, int(round(beta * positive_items.size))) if positive_items.size else 0
+    selected_positive = (
+        rng.choice(positive_items, size=num_positive, replace=False)
+        if num_positive
+        else np.empty(0, dtype=np.int64)
+    )
+    num_negative = min(negative_items.size, int(round(gamma * max(num_positive, 1))))
+    selected_negative = (
+        rng.choice(negative_items, size=num_negative, replace=False)
+        if num_negative
+        else np.empty(0, dtype=np.int64)
+    )
+    return selected_positive, selected_negative
+
+
+def swap_positive_scores(
+    scores: np.ndarray,
+    positive_mask: np.ndarray,
+    swap_rate: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Swap the scores of top positives with scores of random negatives (Eq. 8).
+
+    ``positive_mask`` marks which entries of ``scores`` belong to positive
+    items.  A fraction ``swap_rate`` of the positives — those with the
+    highest predicted scores, which are exactly the ones the Top Guess
+    Attack would recover — exchange their score values with randomly
+    chosen negatives.  Returns a new array; the input is not modified.
+    """
+    scores = np.asarray(scores, dtype=np.float64).copy()
+    positive_mask = np.asarray(positive_mask, dtype=bool)
+    if scores.shape != positive_mask.shape:
+        raise ValueError("scores and positive_mask must have the same shape")
+    if not 0.0 <= swap_rate <= 1.0:
+        raise ValueError(f"swap_rate must be in [0, 1], got {swap_rate}")
+
+    positive_indices = np.flatnonzero(positive_mask)
+    negative_indices = np.flatnonzero(~positive_mask)
+    if positive_indices.size == 0 or negative_indices.size == 0 or swap_rate == 0.0:
+        return scores
+
+    num_swaps = int(round(swap_rate * positive_indices.size))
+    if num_swaps == 0:
+        return scores
+    num_swaps = min(num_swaps, negative_indices.size)
+
+    ranked_positives = positive_indices[np.argsort(-scores[positive_indices])]
+    chosen_positives = ranked_positives[:num_swaps]
+    chosen_negatives = rng.choice(negative_indices, size=num_swaps, replace=False)
+
+    swapped = scores.copy()
+    swapped[chosen_positives] = scores[chosen_negatives]
+    swapped[chosen_negatives] = scores[chosen_positives]
+    return swapped
+
+
+def laplace_perturbation(
+    scores: np.ndarray,
+    scale: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Add Laplace noise to prediction scores and clip back to [0, 1].
+
+    This is the classic LDP mechanism used by traditional FedRecs; the
+    paper shows it either fails to hide the score ordering (small scale)
+    or destroys utility (large scale).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scale < 0:
+        raise ValueError(f"scale must be non-negative, got {scale}")
+    if scale == 0:
+        return scores.copy()
+    noisy = scores + rng.laplace(0.0, scale, size=scores.shape)
+    return np.clip(noisy, 0.0, 1.0)
+
+
+def apply_defense(
+    defense: str,
+    scores: np.ndarray,
+    positive_mask: np.ndarray,
+    swap_rate: float,
+    ldp_scale: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Apply the score-level part of the configured defense.
+
+    Sampling is handled earlier (it decides *which* items are uploaded);
+    this function perturbs the *scores* of the already-selected items:
+    ``"ldp"`` adds Laplace noise, ``"sampling+swapping"`` applies the swap
+    mechanism, and the other modes leave scores untouched.
+    """
+    if defense == "ldp":
+        return laplace_perturbation(scores, ldp_scale, rng)
+    if defense == "sampling+swapping":
+        return swap_positive_scores(scores, positive_mask, swap_rate, rng)
+    return np.asarray(scores, dtype=np.float64).copy()

@@ -1,0 +1,203 @@
+"""End-to-end driver for the PTF-FedRec learning protocol (Algorithm 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.attack import AttackReport, TopGuessAttack
+from repro.core.client import ClientUpload, PTFClient
+from repro.core.config import PTFConfig
+from repro.core.server import PTFServer
+from repro.data.dataset import InteractionDataset
+from repro.eval.ranking import RankingEvaluator, RankingResult
+from repro.federated.communication import CommunicationLedger, prediction_triple_bytes
+from repro.utils.rng import RngFactory
+
+
+@dataclass(frozen=True)
+class RoundSummary:
+    """Bookkeeping for one global round."""
+
+    round_index: int
+    num_clients: int
+    client_loss: float
+    server_loss: float
+    uploaded_records: int
+    dispersed_records: int
+
+
+class PTFFedRec:
+    """The parameter transmission-free federated recommender system.
+
+    Orchestrates clients and the central server through the four-step loop
+    of Algorithm 1: client local training, privacy-preserving prediction
+    upload, server training on the pooled uploads, and confidence-based
+    hard dispersal back to the clients.  Communication (prediction triples
+    in both directions, nothing else) is metered in :attr:`ledger`.
+    """
+
+    name = "PTF-FedRec"
+
+    def __init__(self, dataset: InteractionDataset, config: Optional[PTFConfig] = None):
+        self.dataset = dataset
+        self.config = config if config is not None else PTFConfig()
+        self._rngs = RngFactory(self.config.seed)
+        self.ledger = CommunicationLedger()
+
+        self.server = PTFServer(
+            dataset.num_users, dataset.num_items, self.config, self._rngs
+        )
+        self.clients: Dict[int, PTFClient] = {
+            user: PTFClient(
+                user_id=user,
+                num_items=dataset.num_items,
+                positive_items=dataset.train_items(user),
+                config=self.config,
+                rngs=self._rngs,
+            )
+            for user in dataset.users
+        }
+        self.round_summaries: List[RoundSummary] = []
+        self.last_round_uploads: List[ClientUpload] = []
+
+    # ------------------------------------------------------------------
+    # Protocol rounds
+    # ------------------------------------------------------------------
+    def _select_clients(self, round_index: int) -> List[int]:
+        users = sorted(self.clients)
+        if self.config.client_fraction >= 1.0:
+            return users
+        rng = self._rngs.spawn_indexed("protocol-client-selection", round_index)
+        count = max(1, int(round(self.config.client_fraction * len(users))))
+        return sorted(rng.choice(users, size=count, replace=False).tolist())
+
+    def run_round(self, round_index: int) -> RoundSummary:
+        """Execute one global round and return its summary."""
+        selected = self._select_clients(round_index)
+
+        uploads: List[ClientUpload] = []
+        client_losses: List[float] = []
+        for user in selected:
+            client = self.clients[user]
+            client_losses.append(client.local_train(round_index))
+            upload = client.build_upload(round_index)
+            uploads.append(upload)
+            self.ledger.record(
+                round_index,
+                user,
+                "upload",
+                prediction_triple_bytes(upload.num_records),
+                description="client prediction dataset",
+            )
+
+        server_loss = self.server.train_on_uploads(uploads, round_index)
+
+        dispersed_total = 0
+        for upload in uploads:
+            dispersal = self.server.build_dispersal(upload, round_index)
+            self.clients[upload.user_id].receive_dispersal(dispersal.items, dispersal.scores)
+            dispersed_total += dispersal.num_records
+            self.ledger.record(
+                round_index,
+                upload.user_id,
+                "download",
+                prediction_triple_bytes(dispersal.num_records),
+                description="server dispersed predictions",
+            )
+
+        summary = RoundSummary(
+            round_index=round_index,
+            num_clients=len(selected),
+            client_loss=float(np.mean(client_losses)) if client_losses else 0.0,
+            server_loss=server_loss,
+            uploaded_records=sum(upload.num_records for upload in uploads),
+            dispersed_records=dispersed_total,
+        )
+        self.round_summaries.append(summary)
+        self.last_round_uploads = uploads
+        return summary
+
+    def fit(self, rounds: Optional[int] = None) -> "PTFFedRec":
+        """Run the configured number of global rounds."""
+        total = rounds if rounds is not None else self.config.rounds
+        for round_index in range(len(self.round_summaries),
+                                 len(self.round_summaries) + total):
+            self.run_round(round_index)
+        return self
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, k: int = 20, max_users: Optional[int] = None) -> RankingResult:
+        """Rank with the *server* model (the trained global recommender)."""
+        evaluator = RankingEvaluator(self.dataset, k=k)
+        return evaluator.evaluate(self.server.model, max_users=max_users)
+
+    def evaluate_client_models(self, k: int = 20, max_users: Optional[int] = None) -> RankingResult:
+        """Average ranking quality of the clients' local models.
+
+        Not a paper table, but useful for analysis: it shows how much of
+        the server's knowledge flows back to the devices via ``D̃_i``.
+        """
+        evaluator = RankingEvaluator(self.dataset, k=k)
+        recalls, ndcgs, precisions, hits = [], [], [], []
+        evaluated = 0
+        for user, client in sorted(self.clients.items()):
+            test_items = self.dataset.test_items(user)
+            if test_items.size == 0:
+                continue
+            result = _evaluate_single_user(client, self.dataset, user, k)
+            recalls.append(result.recall)
+            ndcgs.append(result.ndcg)
+            precisions.append(result.precision)
+            hits.append(result.hit_rate)
+            evaluated += 1
+            if max_users is not None and evaluated >= max_users:
+                break
+        if evaluated == 0:
+            return RankingResult(0.0, 0.0, 0.0, 0.0, k, 0)
+        return RankingResult(
+            recall=float(np.mean(recalls)),
+            ndcg=float(np.mean(ndcgs)),
+            precision=float(np.mean(precisions)),
+            hit_rate=float(np.mean(hits)),
+            k=k,
+            num_users_evaluated=evaluated,
+        )
+
+    def audit_privacy(self, guess_ratio: float = 0.2) -> AttackReport:
+        """Run the Top Guess Attack against the most recent round's uploads."""
+        attack = TopGuessAttack(guess_ratio=guess_ratio)
+        return attack.audit_round(self.last_round_uploads)
+
+    def average_client_round_kilobytes(self) -> float:
+        """Average per-client per-round communication in KB (Table IV)."""
+        return self.ledger.average_client_round_kilobytes()
+
+
+def _evaluate_single_user(
+    client: PTFClient, dataset: InteractionDataset, user: int, k: int
+) -> RankingResult:
+    """Evaluate one client's local model on its own held-out items."""
+    from repro.eval.metrics import hit_rate_at_k, ndcg_at_k, precision_at_k, recall_at_k
+
+    scores = client.model.score_all_items(0)
+    train_items = dataset.train_items(user)
+    if train_items.size:
+        scores = scores.copy()
+        scores[train_items] = -np.inf
+    k = min(k, dataset.num_items)
+    top = np.argpartition(-scores, kth=k - 1)[:k]
+    recommended = top[np.argsort(-scores[top])]
+    test_items = dataset.test_items(user)
+    return RankingResult(
+        recall=recall_at_k(recommended, test_items, k),
+        ndcg=ndcg_at_k(recommended, test_items, k),
+        precision=precision_at_k(recommended, test_items, k),
+        hit_rate=hit_rate_at_k(recommended, test_items, k),
+        k=k,
+        num_users_evaluated=1,
+    )

@@ -1,0 +1,46 @@
+"""Datasets, synthetic workload generators, splits and samplers.
+
+The paper evaluates on MovieLens-100K, Steam-200K and Gowalla.  Those
+archives cannot be downloaded in this offline environment, so
+:mod:`repro.data.synthetic` generates interaction datasets that match the
+published statistics (Table II): number of users, items, interactions,
+average profile length and density, with a long-tailed item popularity
+distribution.  A loader for the on-disk MovieLens ``u.data`` format is
+included for users who do have the real files.
+"""
+
+from repro.data.dataset import DatasetStats, InteractionDataset
+from repro.data.synthetic import (
+    SyntheticSpec,
+    generate_dataset,
+    movielens_100k,
+    steam_200k,
+    gowalla,
+    debug_dataset,
+    PAPER_SPECS,
+    MINI_SPECS,
+)
+from repro.data.sampling import (
+    sample_negative_items,
+    build_pointwise_samples,
+    UserBatchSampler,
+)
+from repro.data.loaders import BatchIterator, load_movielens_file
+
+__all__ = [
+    "DatasetStats",
+    "InteractionDataset",
+    "SyntheticSpec",
+    "generate_dataset",
+    "movielens_100k",
+    "steam_200k",
+    "gowalla",
+    "debug_dataset",
+    "PAPER_SPECS",
+    "MINI_SPECS",
+    "sample_negative_items",
+    "build_pointwise_samples",
+    "UserBatchSampler",
+    "BatchIterator",
+    "load_movielens_file",
+]

@@ -1,0 +1,196 @@
+"""Implicit-feedback interaction dataset with train/test splits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Summary statistics matching the paper's Table II columns."""
+
+    name: str
+    num_users: int
+    num_items: int
+    num_interactions: int
+    average_profile_length: float
+    density: float
+
+    def as_row(self) -> Dict[str, object]:
+        """Return the statistics as a flat dict (used by the Table II bench)."""
+        return {
+            "dataset": self.name,
+            "#Users": self.num_users,
+            "#Items": self.num_items,
+            "#Interactions": self.num_interactions,
+            "Average Length": round(self.average_profile_length, 1),
+            "Density": f"{100.0 * self.density:.2f}%",
+        }
+
+
+class InteractionDataset:
+    """Implicit user-item interactions split into train and test sets.
+
+    All interactions are positive (``r = 1``); negatives are sampled from
+    non-interacted items at training and evaluation time, following the
+    paper's protocol (1:4 negative sampling, 8:2 train/test split).
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        train_pairs: Sequence[Tuple[int, int]],
+        test_pairs: Sequence[Tuple[int, int]] = (),
+        name: str = "dataset",
+    ):
+        if num_users <= 0 or num_items <= 0:
+            raise ValueError("num_users and num_items must be positive")
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+        self.name = name
+        self._train_by_user = self._group_by_user(train_pairs, "train")
+        self._test_by_user = self._group_by_user(test_pairs, "test")
+        self._train_pairs = np.asarray(
+            sorted((u, i) for u, items in self._train_by_user.items() for i in items),
+            dtype=np.int64,
+        ).reshape(-1, 2)
+        self._test_pairs = np.asarray(
+            sorted((u, i) for u, items in self._test_by_user.items() for i in items),
+            dtype=np.int64,
+        ).reshape(-1, 2)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _group_by_user(
+        self, pairs: Sequence[Tuple[int, int]], label: str
+    ) -> Dict[int, np.ndarray]:
+        grouped: Dict[int, set] = {}
+        for user, item in pairs:
+            user = int(user)
+            item = int(item)
+            if not 0 <= user < self.num_users:
+                raise ValueError(f"{label} pair has user {user} outside [0, {self.num_users})")
+            if not 0 <= item < self.num_items:
+                raise ValueError(f"{label} pair has item {item} outside [0, {self.num_items})")
+            grouped.setdefault(user, set()).add(item)
+        return {user: np.array(sorted(items), dtype=np.int64) for user, items in grouped.items()}
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def users(self) -> List[int]:
+        """Users that have at least one training interaction."""
+        return sorted(self._train_by_user)
+
+    @property
+    def num_train_interactions(self) -> int:
+        return int(self._train_pairs.shape[0])
+
+    @property
+    def num_test_interactions(self) -> int:
+        return int(self._test_pairs.shape[0])
+
+    @property
+    def train_pairs(self) -> np.ndarray:
+        """All training ``(user, item)`` pairs as an ``(N, 2)`` array."""
+        return self._train_pairs
+
+    @property
+    def test_pairs(self) -> np.ndarray:
+        """All test ``(user, item)`` pairs as an ``(N, 2)`` array."""
+        return self._test_pairs
+
+    def train_items(self, user: int) -> np.ndarray:
+        """Items the user interacted with in the training split."""
+        return self._train_by_user.get(int(user), np.empty(0, dtype=np.int64))
+
+    def test_items(self, user: int) -> np.ndarray:
+        """Items held out for the user in the test split."""
+        return self._test_by_user.get(int(user), np.empty(0, dtype=np.int64))
+
+    def train_matrix(self) -> sp.csr_matrix:
+        """Binary user-item training matrix in CSR format."""
+        if self._train_pairs.size == 0:
+            return sp.csr_matrix((self.num_users, self.num_items))
+        rows = self._train_pairs[:, 0]
+        cols = self._train_pairs[:, 1]
+        values = np.ones(len(rows))
+        return sp.csr_matrix((values, (rows, cols)), shape=(self.num_users, self.num_items))
+
+    def stats(self) -> DatasetStats:
+        """Statistics over the full dataset (train + test)."""
+        total = self.num_train_interactions + self.num_test_interactions
+        per_user = total / max(self.num_users, 1)
+        density = total / float(self.num_users * self.num_items)
+        return DatasetStats(
+            name=self.name,
+            num_users=self.num_users,
+            num_items=self.num_items,
+            num_interactions=total,
+            average_profile_length=per_user,
+            density=density,
+        )
+
+    def item_popularity(self) -> np.ndarray:
+        """Training interaction count per item (used by popularity baselines)."""
+        counts = np.zeros(self.num_items, dtype=np.int64)
+        if self._train_pairs.size:
+            np.add.at(counts, self._train_pairs[:, 1], 1)
+        return counts
+
+    # ------------------------------------------------------------------
+    # Splitting
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_pairs(
+        num_users: int,
+        num_items: int,
+        pairs: Sequence[Tuple[int, int]],
+        train_ratio: float = 0.8,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "dataset",
+    ) -> "InteractionDataset":
+        """Split raw pairs per user into train/test with ``train_ratio``.
+
+        Each user keeps at least one training interaction; users with a
+        single interaction contribute no test item (they cannot be ranked).
+        """
+        if not 0.0 < train_ratio < 1.0:
+            raise ValueError(f"train_ratio must be in (0, 1), got {train_ratio}")
+        rng = rng if rng is not None else np.random.default_rng()
+        by_user: Dict[int, List[int]] = {}
+        for user, item in pairs:
+            by_user.setdefault(int(user), []).append(int(item))
+        train_pairs: List[Tuple[int, int]] = []
+        test_pairs: List[Tuple[int, int]] = []
+        for user, items in by_user.items():
+            items = np.array(sorted(set(items)), dtype=np.int64)
+            rng.shuffle(items)
+            cutoff = max(1, int(round(train_ratio * len(items))))
+            cutoff = min(cutoff, len(items))
+            train_pairs.extend((user, item) for item in items[:cutoff])
+            test_pairs.extend((user, item) for item in items[cutoff:])
+        return InteractionDataset(num_users, num_items, train_pairs, test_pairs, name=name)
+
+    def subset_users(self, users: Iterable[int], name: Optional[str] = None) -> "InteractionDataset":
+        """Restrict the dataset to a subset of users (item space unchanged)."""
+        keep = set(int(u) for u in users)
+        train = [(u, i) for u, i in self._train_pairs if u in keep]
+        test = [(u, i) for u, i in self._test_pairs if u in keep]
+        return InteractionDataset(
+            self.num_users, self.num_items, train, test, name=name or f"{self.name}-subset"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InteractionDataset(name={self.name!r}, users={self.num_users}, "
+            f"items={self.num_items}, train={self.num_train_interactions}, "
+            f"test={self.num_test_interactions})"
+        )

@@ -1,0 +1,154 @@
+"""Negative sampling and pointwise training-set construction.
+
+The paper's protocol (Section IV-A): positive ratings become ``r = 1`` and
+negatives are drawn from non-interacted items at a 1:4 ratio.  Both the
+centralized trainers and the per-client local training in the federated
+frameworks use these helpers, so every method sees the same sampling
+distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+
+
+def sample_negative_items(
+    num_items: int,
+    positive_items: np.ndarray,
+    num_samples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample ``num_samples`` items not present in ``positive_items``.
+
+    Sampling is with replacement across draws but never returns a positive
+    item.  When the user has interacted with nearly the whole catalogue the
+    returned array may contain repeats, mirroring standard recommender
+    practice.
+    """
+    if num_samples <= 0:
+        return np.empty(0, dtype=np.int64)
+    positive_set = set(int(i) for i in np.asarray(positive_items).ravel())
+    available = num_items - len(positive_set)
+    if available <= 0:
+        raise ValueError("user has interacted with every item; cannot sample negatives")
+    samples = np.empty(num_samples, dtype=np.int64)
+    filled = 0
+    while filled < num_samples:
+        draw = rng.integers(0, num_items, size=2 * (num_samples - filled))
+        mask = np.fromiter((int(item) not in positive_set for item in draw), dtype=bool,
+                           count=len(draw))
+        accepted = draw[mask][: num_samples - filled]
+        samples[filled: filled + len(accepted)] = accepted
+        filled += len(accepted)
+    return samples
+
+
+def build_pointwise_samples(
+    dataset: InteractionDataset,
+    negative_ratio: int = 4,
+    rng: Optional[np.random.Generator] = None,
+    users: Optional[Sequence[int]] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build ``(users, items, labels)`` arrays for pointwise BCE training.
+
+    For every training positive of every user, ``negative_ratio`` fresh
+    negatives are drawn.  The centralized baselines call this once per
+    epoch; each federated client calls it on its own rows only.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    users = list(users) if users is not None else dataset.users
+    user_column: List[int] = []
+    item_column: List[int] = []
+    label_column: List[float] = []
+    for user in users:
+        positives = dataset.train_items(user)
+        if positives.size == 0:
+            continue
+        negatives = sample_negative_items(
+            dataset.num_items, positives, negative_ratio * positives.size, rng
+        )
+        user_column.extend([user] * (positives.size + negatives.size))
+        item_column.extend(positives.tolist())
+        item_column.extend(negatives.tolist())
+        label_column.extend([1.0] * positives.size)
+        label_column.extend([0.0] * negatives.size)
+    return (
+        np.asarray(user_column, dtype=np.int64),
+        np.asarray(item_column, dtype=np.int64),
+        np.asarray(label_column, dtype=np.float64),
+    )
+
+
+class UserBatchSampler:
+    """Yields shuffled per-user pointwise batches for local (on-device) training.
+
+    Each federated client owns a single user's data, so its batches come
+    from this sampler with ``batch_size`` 64 (the paper's client batch
+    size).
+    """
+
+    def __init__(
+        self,
+        num_items: int,
+        positive_items: np.ndarray,
+        negative_ratio: int = 4,
+        batch_size: int = 64,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.num_items = num_items
+        self.positive_items = np.asarray(positive_items, dtype=np.int64)
+        self.negative_ratio = negative_ratio
+        self.batch_size = batch_size
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def epoch(
+        self,
+        extra_items: Optional[np.ndarray] = None,
+        extra_labels: Optional[np.ndarray] = None,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(items, labels)`` batches for one local epoch.
+
+        ``extra_items``/``extra_labels`` carry the server-provided soft
+        labels ``D̃_i`` so they are mixed into the same shuffled stream as
+        the private data (Eq. 3 of the paper trains on ``D_i ∪ D̃_i``).
+        """
+        negatives = sample_negative_items(
+            self.num_items,
+            self.positive_items,
+            self.negative_ratio * self.positive_items.size,
+            self._rng,
+        )
+        items = np.concatenate([self.positive_items, negatives])
+        labels = np.concatenate([
+            np.ones(self.positive_items.size),
+            np.zeros(negatives.size),
+        ])
+        if extra_items is not None and len(extra_items):
+            items = np.concatenate([items, np.asarray(extra_items, dtype=np.int64)])
+            labels = np.concatenate([labels, np.asarray(extra_labels, dtype=np.float64)])
+        order = self._rng.permutation(len(items))
+        items = items[order]
+        labels = labels[order]
+        for start in range(0, len(items), self.batch_size):
+            stop = start + self.batch_size
+            yield items[start:stop], labels[start:stop]
+
+    def sampled_training_items(self) -> Dict[str, np.ndarray]:
+        """Return one epoch's trained item pool split into positives/negatives.
+
+        This is the pool ``V_i^t`` from which the client selects its upload
+        set ``V̂_i^t`` (Section III-B2).
+        """
+        negatives = sample_negative_items(
+            self.num_items,
+            self.positive_items,
+            self.negative_ratio * self.positive_items.size,
+            self._rng,
+        )
+        return {"positives": self.positive_items.copy(), "negatives": np.unique(negatives)}

@@ -1,0 +1,24 @@
+"""Evaluation metrics and ranking protocols.
+
+The paper reports Recall@20 and NDCG@20 over all non-interacted items, and
+uses F1 to measure the Top Guess Attack's inference quality (Section IV-B).
+"""
+
+from repro.eval.metrics import (
+    recall_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    hit_rate_at_k,
+    f1_score,
+)
+from repro.eval.ranking import RankingEvaluator, RankingResult
+
+__all__ = [
+    "recall_at_k",
+    "ndcg_at_k",
+    "precision_at_k",
+    "hit_rate_at_k",
+    "f1_score",
+    "RankingEvaluator",
+    "RankingResult",
+]

@@ -1,0 +1,69 @@
+"""Top-K ranking metrics and binary classification metrics."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set
+
+import numpy as np
+
+
+def recall_at_k(recommended: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """Fraction of the relevant items that appear in the top-``k``.
+
+    Returns 0 when the user has no relevant items (such users are skipped
+    by the evaluator, but the metric itself stays well defined).
+    """
+    relevant_set = set(int(i) for i in relevant)
+    if not relevant_set:
+        return 0.0
+    hits = sum(1 for item in list(recommended)[:k] if int(item) in relevant_set)
+    return hits / len(relevant_set)
+
+
+def precision_at_k(recommended: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """Fraction of the top-``k`` recommendations that are relevant."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    relevant_set = set(int(i) for i in relevant)
+    hits = sum(1 for item in list(recommended)[:k] if int(item) in relevant_set)
+    return hits / k
+
+
+def hit_rate_at_k(recommended: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """1.0 when any relevant item appears in the top-``k``, else 0.0."""
+    relevant_set = set(int(i) for i in relevant)
+    return 1.0 if any(int(item) in relevant_set for item in list(recommended)[:k]) else 0.0
+
+
+def ndcg_at_k(recommended: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """Normalized discounted cumulative gain with binary relevance.
+
+    The ideal DCG normalizes by ranking all relevant items first, so a
+    perfect ranking scores 1.0 regardless of how many relevant items the
+    user has.
+    """
+    relevant_set = set(int(i) for i in relevant)
+    if not relevant_set:
+        return 0.0
+    top = list(recommended)[:k]
+    dcg = 0.0
+    for position, item in enumerate(top):
+        if int(item) in relevant_set:
+            dcg += 1.0 / np.log2(position + 2)
+    ideal_hits = min(len(relevant_set), k)
+    ideal = sum(1.0 / np.log2(position + 2) for position in range(ideal_hits))
+    return dcg / ideal if ideal > 0 else 0.0
+
+
+def f1_score(predicted: Iterable[int], actual: Iterable[int]) -> float:
+    """F1 between two item sets (used to grade the Top Guess Attack)."""
+    predicted_set: Set[int] = set(int(i) for i in predicted)
+    actual_set: Set[int] = set(int(i) for i in actual)
+    if not predicted_set or not actual_set:
+        return 0.0
+    true_positives = len(predicted_set & actual_set)
+    if true_positives == 0:
+        return 0.0
+    precision = true_positives / len(predicted_set)
+    recall = true_positives / len(actual_set)
+    return 2.0 * precision * recall / (precision + recall)

@@ -1,0 +1,90 @@
+"""Full-ranking evaluation protocol.
+
+Matches the paper's Section IV-B: for every user with held-out test items,
+score *all* items the user has not interacted with in training, take the
+top-K, and average Recall@K and NDCG@K over users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.eval.metrics import hit_rate_at_k, ndcg_at_k, precision_at_k, recall_at_k
+from repro.models.base import Recommender
+
+
+@dataclass(frozen=True)
+class RankingResult:
+    """Average ranking metrics over evaluated users."""
+
+    recall: float
+    ndcg: float
+    precision: float
+    hit_rate: float
+    k: int
+    num_users_evaluated: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            f"Recall@{self.k}": self.recall,
+            f"NDCG@{self.k}": self.ndcg,
+            f"Precision@{self.k}": self.precision,
+            f"HitRate@{self.k}": self.hit_rate,
+        }
+
+
+class RankingEvaluator:
+    """Evaluates a :class:`Recommender` on a dataset's test split."""
+
+    def __init__(self, dataset: InteractionDataset, k: int = 20):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.dataset = dataset
+        self.k = k
+
+    def evaluate(
+        self,
+        model: Recommender,
+        users: Optional[Iterable[int]] = None,
+        max_users: Optional[int] = None,
+    ) -> RankingResult:
+        """Average Recall/NDCG/Precision/HitRate at ``k`` over test users.
+
+        ``max_users`` caps the number of evaluated users (deterministically,
+        lowest ids first) so benchmark runs stay fast; ``None`` evaluates
+        everyone with at least one test interaction.
+        """
+        candidates = list(users) if users is not None else self.dataset.users
+        evaluated = 0
+        recall_sum = 0.0
+        ndcg_sum = 0.0
+        precision_sum = 0.0
+        hit_sum = 0.0
+        for user in candidates:
+            test_items = self.dataset.test_items(user)
+            if test_items.size == 0:
+                continue
+            recommended = model.recommend(
+                user, k=self.k, exclude_items=self.dataset.train_items(user)
+            )
+            recall_sum += recall_at_k(recommended, test_items, self.k)
+            ndcg_sum += ndcg_at_k(recommended, test_items, self.k)
+            precision_sum += precision_at_k(recommended, test_items, self.k)
+            hit_sum += hit_rate_at_k(recommended, test_items, self.k)
+            evaluated += 1
+            if max_users is not None and evaluated >= max_users:
+                break
+        if evaluated == 0:
+            return RankingResult(0.0, 0.0, 0.0, 0.0, self.k, 0)
+        return RankingResult(
+            recall=recall_sum / evaluated,
+            ndcg=ndcg_sum / evaluated,
+            precision=precision_sum / evaluated,
+            hit_rate=hit_sum / evaluated,
+            k=self.k,
+            num_users_evaluated=evaluated,
+        )

@@ -1,0 +1,130 @@
+"""Byte-level communication accounting.
+
+Table IV of the paper compares the *average per-client, per-round*
+communication cost of each framework.  Every simulated framework in this
+repository records each logical transfer (download or upload, per client,
+per round) in a :class:`CommunicationLedger`, and the benchmark reproduces
+the table directly from the ledger.
+
+Cost model:
+
+* dense parameters — 4 bytes per float (float32 on the wire),
+* homomorphically encrypted values — one Paillier-style ciphertext per
+  value; 2048-bit keys give 512-byte ciphertexts (the expansion that makes
+  FedMF's costs explode in the paper),
+* prediction triples — ``(user id, item id, score)`` packed as two 4-byte
+  integers and one 4-byte float.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Literal
+
+FLOAT_BYTES = 4
+INT_BYTES = 4
+PAILLIER_CIPHERTEXT_BYTES = 512
+
+Direction = Literal["download", "upload"]
+
+
+def dense_parameter_bytes(num_values: int) -> int:
+    """Bytes needed to ship ``num_values`` plaintext float parameters."""
+    if num_values < 0:
+        raise ValueError(f"num_values must be non-negative, got {num_values}")
+    return num_values * FLOAT_BYTES
+
+
+def encrypted_parameter_bytes(
+    num_values: int, ciphertext_bytes: int = PAILLIER_CIPHERTEXT_BYTES
+) -> int:
+    """Bytes needed to ship ``num_values`` homomorphically encrypted values."""
+    if num_values < 0:
+        raise ValueError(f"num_values must be non-negative, got {num_values}")
+    return num_values * ciphertext_bytes
+
+
+def prediction_triple_bytes(num_triples: int) -> int:
+    """Bytes needed to ship ``num_triples`` ``(user, item, score)`` records."""
+    if num_triples < 0:
+        raise ValueError(f"num_triples must be non-negative, got {num_triples}")
+    return num_triples * (2 * INT_BYTES + FLOAT_BYTES)
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One logical transfer between the server and a client."""
+
+    round_index: int
+    client_id: int
+    direction: Direction
+    num_bytes: int
+    description: str = ""
+
+
+class CommunicationLedger:
+    """Accumulates transfers and answers per-client/per-round questions."""
+
+    def __init__(self):
+        self._records: List[TransferRecord] = []
+
+    def record(
+        self,
+        round_index: int,
+        client_id: int,
+        direction: Direction,
+        num_bytes: int,
+        description: str = "",
+    ) -> None:
+        """Append one transfer to the ledger."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        if direction not in ("download", "upload"):
+            raise ValueError(f"direction must be 'download' or 'upload', got {direction!r}")
+        self._records.append(
+            TransferRecord(round_index, client_id, direction, int(num_bytes), description)
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregations
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> List[TransferRecord]:
+        return list(self._records)
+
+    def total_bytes(self) -> int:
+        """Total bytes moved across all rounds, clients and directions."""
+        return sum(record.num_bytes for record in self._records)
+
+    def bytes_per_round(self) -> Dict[int, int]:
+        """Total bytes per round."""
+        totals: Dict[int, int] = defaultdict(int)
+        for record in self._records:
+            totals[record.round_index] += record.num_bytes
+        return dict(totals)
+
+    def client_round_bytes(self) -> Dict[tuple, int]:
+        """Bytes for each ``(client, round)`` combination that had traffic."""
+        totals: Dict[tuple, int] = defaultdict(int)
+        for record in self._records:
+            totals[(record.client_id, record.round_index)] += record.num_bytes
+        return dict(totals)
+
+    def average_client_round_bytes(self) -> float:
+        """Average bytes per client per round (the Table IV quantity)."""
+        per_pair = self.client_round_bytes()
+        if not per_pair:
+            return 0.0
+        return sum(per_pair.values()) / len(per_pair)
+
+    def average_client_round_kilobytes(self) -> float:
+        """Average per-client per-round cost in KB."""
+        return self.average_client_round_bytes() / 1024.0
+
+    def average_client_round_megabytes(self) -> float:
+        """Average per-client per-round cost in MB."""
+        return self.average_client_round_bytes() / (1024.0 * 1024.0)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,68 @@
+"""FedMF: secure federated matrix factorization (Chai et al. 2020).
+
+FedMF follows the same learning protocol as FCF but protects the uploaded
+item-embedding updates with additively homomorphic encryption, so the
+server aggregates ciphertexts it cannot read individually.  Encryption is
+semantically transparent to the learning dynamics (the aggregate is the
+same numbers); what changes is the wire size — every 4-byte float becomes
+a ciphertext.  The paper's Table IV shows this expansion dominating the
+comparison, and this implementation reproduces it with a configurable
+``ciphertext_bytes`` cost model (default 64 bytes/value, which matches the
+roughly 16x expansion over FCF reported in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.data.dataset import InteractionDataset
+from repro.federated.base import FederatedConfig, ParameterTransmissionFedRec
+from repro.federated.communication import encrypted_parameter_bytes
+from repro.models.mf import MatrixFactorization
+from repro.utils.rng import RngFactory
+
+DEFAULT_CIPHERTEXT_BYTES = 64
+
+
+class FedMF(ParameterTransmissionFedRec):
+    """FCF with homomorphically encrypted parameter exchange."""
+
+    name = "FedMF"
+
+    def __init__(
+        self,
+        dataset: InteractionDataset,
+        config: Optional[FederatedConfig] = None,
+        ciphertext_bytes: int = DEFAULT_CIPHERTEXT_BYTES,
+    ):
+        if ciphertext_bytes < 4:
+            raise ValueError(
+                f"ciphertext_bytes must be at least 4 (plaintext size), got {ciphertext_bytes}"
+            )
+        self.ciphertext_bytes = ciphertext_bytes
+        super().__init__(dataset, config)
+
+    def _build_global_model(self) -> MatrixFactorization:
+        # Same plain matrix factorization as FCF (see the note there); only
+        # the wire format differs.
+        rng = RngFactory(self.config.seed).spawn("fedmf-model")
+        return MatrixFactorization(
+            self.dataset.num_users,
+            self.dataset.num_items,
+            embedding_dim=self.config.embedding_dim,
+            rng=rng,
+            use_bias=False,
+        )
+
+    def _public_parameter_names(self) -> Sequence[str]:
+        return ["item_embedding.weight"]
+
+    def _public_value_count(self) -> int:
+        model: MatrixFactorization = self.model
+        return model.item_embedding.weight.size
+
+    def _download_bytes(self) -> int:
+        return encrypted_parameter_bytes(self._public_value_count(), self.ciphertext_bytes)
+
+    def _upload_bytes(self) -> int:
+        return encrypted_parameter_bytes(self._public_value_count(), self.ciphertext_bytes)

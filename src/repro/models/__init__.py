@@ -1,0 +1,35 @@
+"""Recommendation models used by the paper.
+
+Three base recommenders (Section III-A):
+
+* :class:`NeuMF` — neural matrix factorization (the "simple, public"
+  client-side model),
+* :class:`NGCF` — neural graph collaborative filtering,
+* :class:`LightGCN` — simplified graph convolution,
+
+plus :class:`MatrixFactorization`, the classic dot-product model used by
+the parameter-transmission federated baselines (FCF, FedMF), and
+:class:`PopularityRecommender` as a sanity-check baseline.
+"""
+
+from repro.models.base import Recommender
+from repro.models.mf import MatrixFactorization
+from repro.models.neumf import NeuMF
+from repro.models.graph import build_normalized_adjacency, pairs_from_scores
+from repro.models.ngcf import NGCF
+from repro.models.lightgcn import LightGCN
+from repro.models.popularity import PopularityRecommender
+from repro.models.factory import create_model, MODEL_REGISTRY
+
+__all__ = [
+    "Recommender",
+    "MatrixFactorization",
+    "NeuMF",
+    "NGCF",
+    "LightGCN",
+    "PopularityRecommender",
+    "build_normalized_adjacency",
+    "pairs_from_scores",
+    "create_model",
+    "MODEL_REGISTRY",
+]

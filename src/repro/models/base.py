@@ -1,0 +1,92 @@
+"""Common interface shared by every recommendation model."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn import Module
+from repro.tensor import Tensor, no_grad
+
+
+class Recommender(Module):
+    """Base class for user-item preference models.
+
+    Every recommender maps a batch of ``(user, item)`` index pairs to a
+    preference probability in ``[0, 1]`` via :meth:`score`.  Ranking
+    helpers (:meth:`score_all_items`, :meth:`recommend`) are implemented on
+    top and shared by the evaluation code, the centralized trainers and
+    both federated frameworks.
+    """
+
+    def __init__(self, num_users: int, num_items: int):
+        super().__init__()
+        if num_users <= 0 or num_items <= 0:
+            raise ValueError("num_users and num_items must be positive")
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    def score(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        """Return predicted preference probabilities for index pairs."""
+        raise NotImplementedError
+
+    def item_update_counts(self) -> np.ndarray:
+        """Per-item count of gradient updates (confidence proxy).
+
+        PTF-FedRec's server uses this to pick "reliable" items for the
+        dispersed dataset; models without an item embedding return zeros.
+        """
+        return np.zeros(self.num_items, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Ranking helpers
+    # ------------------------------------------------------------------
+    def score_all_items(self, user: int) -> np.ndarray:
+        """Score every item for one user without recording gradients."""
+        items = np.arange(self.num_items, dtype=np.int64)
+        users = np.full(self.num_items, int(user), dtype=np.int64)
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                scores = self.score(users, items).numpy()
+        finally:
+            self.train(was_training)
+        return np.asarray(scores, dtype=np.float64).reshape(-1)
+
+    def score_pairs(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Score arbitrary pairs without recording gradients."""
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                scores = self.score(
+                    np.asarray(users, dtype=np.int64), np.asarray(items, dtype=np.int64)
+                ).numpy()
+        finally:
+            self.train(was_training)
+        return np.asarray(scores, dtype=np.float64).reshape(-1)
+
+    def recommend(
+        self,
+        user: int,
+        k: int = 20,
+        exclude_items: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Return the top-``k`` item ids for ``user``.
+
+        ``exclude_items`` (typically the user's training positives) are
+        removed from the candidate pool, matching the paper's evaluation
+        over "all items that have not interacted with users".
+        """
+        scores = self.score_all_items(user)
+        if exclude_items is not None and len(exclude_items):
+            scores = scores.copy()
+            scores[np.asarray(exclude_items, dtype=np.int64)] = -np.inf
+        k = min(k, self.num_items)
+        top = np.argpartition(-scores, kth=k - 1)[:k]
+        return top[np.argsort(-scores[top])]

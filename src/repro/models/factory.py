@@ -1,0 +1,45 @@
+"""Model factory used by the experiment harness.
+
+The paper's experiments are parameterized by model *names* ("NeuMF",
+"NGCF", "LightGCN"), e.g. the client/server combination matrix in
+Table VIII; the factory turns those names into configured instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.models.base import Recommender
+from repro.models.lightgcn import LightGCN
+from repro.models.mf import MatrixFactorization
+from repro.models.neumf import NeuMF
+from repro.models.ngcf import NGCF
+
+MODEL_REGISTRY: Dict[str, Callable[..., Recommender]] = {
+    "neumf": NeuMF,
+    "ngcf": NGCF,
+    "lightgcn": LightGCN,
+    "mf": MatrixFactorization,
+}
+
+
+def create_model(
+    name: str,
+    num_users: int,
+    num_items: int,
+    embedding_dim: int = 32,
+    rng: Optional[np.random.Generator] = None,
+    **kwargs,
+) -> Recommender:
+    """Instantiate a recommender by case-insensitive name.
+
+    Raises ``KeyError`` listing the available names when ``name`` is
+    unknown, so experiment configs fail fast with a helpful message.
+    """
+    key = name.strip().lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}")
+    factory = MODEL_REGISTRY[key]
+    return factory(num_users, num_items, embedding_dim=embedding_dim, rng=rng, **kwargs)

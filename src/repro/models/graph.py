@@ -1,0 +1,79 @@
+"""Bipartite interaction-graph utilities for the graph recommenders.
+
+NGCF and LightGCN propagate embeddings over the symmetrically normalized
+adjacency of the user-item bipartite graph,
+
+    A_hat = D^{-1/2} A D^{-1/2},   A = [[0, R], [R^T, 0]],
+
+where ``R`` is the binary interaction matrix.  In centralized training the
+graph comes from the training interactions; in PTF-FedRec the server never
+sees raw interactions, so it reconstructs a surrogate graph from the
+high-score pairs in the prediction datasets clients upload
+(:func:`pairs_from_scores`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def build_normalized_adjacency(
+    num_users: int,
+    num_items: int,
+    pairs: Sequence[Tuple[int, int]],
+    add_self_loops: bool = False,
+) -> sp.csr_matrix:
+    """Build the symmetric normalized adjacency over users and items.
+
+    Nodes ``0 .. num_users-1`` are users and ``num_users .. num_users +
+    num_items - 1`` are items.  Isolated nodes receive a zero row, which
+    simply leaves their embedding unchanged during propagation.
+    """
+    size = num_users + num_items
+    pairs = np.asarray(list(pairs), dtype=np.int64).reshape(-1, 2)
+    if pairs.size == 0:
+        adjacency = sp.csr_matrix((size, size))
+    else:
+        users = pairs[:, 0]
+        items = pairs[:, 1] + num_users
+        rows = np.concatenate([users, items])
+        cols = np.concatenate([items, users])
+        values = np.ones(len(rows))
+        adjacency = sp.csr_matrix((values, (rows, cols)), shape=(size, size))
+        # Collapse duplicate edges to weight one.
+        adjacency.data = np.ones_like(adjacency.data)
+    if add_self_loops:
+        adjacency = adjacency + sp.eye(size, format="csr")
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        inverse_sqrt = np.power(degrees, -0.5)
+    inverse_sqrt[~np.isfinite(inverse_sqrt)] = 0.0
+    normalizer = sp.diags(inverse_sqrt)
+    return (normalizer @ adjacency @ normalizer).tocsr()
+
+
+def pairs_from_scores(
+    users: np.ndarray,
+    items: np.ndarray,
+    scores: np.ndarray,
+    threshold: float = 0.5,
+) -> np.ndarray:
+    """Select ``(user, item)`` pairs whose score passes ``threshold``.
+
+    The PTF-FedRec server calls this on the pooled uploaded predictions to
+    build the surrogate interaction graph its NGCF/LightGCN model
+    propagates over — the server never observes true interactions.
+    """
+    users = np.asarray(users, dtype=np.int64).reshape(-1)
+    items = np.asarray(items, dtype=np.int64).reshape(-1)
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if not (len(users) == len(items) == len(scores)):
+        raise ValueError("users, items and scores must have equal length")
+    mask = scores >= threshold
+    selected = np.stack([users[mask], items[mask]], axis=1)
+    if selected.size == 0:
+        return selected.reshape(0, 2)
+    return np.unique(selected, axis=0)

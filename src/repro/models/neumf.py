@@ -1,0 +1,97 @@
+"""Neural Matrix Factorization (NeuMF, He et al. 2017).
+
+NeuMF is the paper's "simple and publicly available" client-side model and
+also one of the candidate server models.  It fuses a generalized matrix
+factorization (GMF) branch with an MLP branch over the concatenated user
+and item embeddings (Eq. 1 of the paper); the paper's configuration uses
+32-dimensional embeddings and a 64→32→16 MLP tower.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.models.base import Recommender
+from repro.nn import Embedding, Linear
+from repro.tensor import Tensor
+from repro.tensor.functional import concat
+
+
+class NeuMF(Recommender):
+    """GMF + MLP neural collaborative filtering model."""
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        embedding_dim: int = 32,
+        mlp_layers: Sequence[int] = (64, 32, 16),
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(num_users, num_items)
+        rng = rng if rng is not None else np.random.default_rng()
+        self.embedding_dim = embedding_dim
+        self.mlp_layer_sizes = tuple(mlp_layers)
+
+        # Separate embedding tables for the GMF and MLP branches, as in the
+        # original NeuMF architecture.
+        self.user_embedding_gmf = Embedding(num_users, embedding_dim, rng=rng)
+        self.item_embedding_gmf = Embedding(num_items, embedding_dim, rng=rng)
+        self.user_embedding_mlp = Embedding(num_users, embedding_dim, rng=rng)
+        self.item_embedding_mlp = Embedding(num_items, embedding_dim, rng=rng)
+
+        input_dim = 2 * embedding_dim
+        self._mlp_layers = []
+        for index, width in enumerate(self.mlp_layer_sizes):
+            layer = Linear(input_dim, width, rng=rng)
+            setattr(self, f"mlp_{index}", layer)
+            self._mlp_layers.append(layer)
+            input_dim = width
+
+        # Final prediction layer over [GMF vector, MLP output] (the "h"
+        # vector in Eq. 1).
+        self.prediction = Linear(embedding_dim + input_dim, 1, rng=rng)
+
+    def forward(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        return self.score(users, items)
+
+    def score(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+
+        gmf_user = self.user_embedding_gmf(users)
+        gmf_item = self.item_embedding_gmf(items)
+        gmf_vector = gmf_user * gmf_item
+
+        mlp_user = self.user_embedding_mlp(users)
+        mlp_item = self.item_embedding_mlp(items)
+        hidden = concat([mlp_user, mlp_item], axis=1)
+        for layer in self._mlp_layers:
+            hidden = layer(hidden).relu()
+
+        fused = concat([gmf_vector, hidden], axis=1)
+        logits = self.prediction(fused).reshape(-1)
+        return logits.sigmoid()
+
+    def item_update_counts(self) -> np.ndarray:
+        return (
+            self.item_embedding_gmf.update_counts + self.item_embedding_mlp.update_counts
+        ).copy()
+
+    def public_parameter_count(self) -> int:
+        """Scalar count of the parameters a traditional FedRec would share.
+
+        Everything except the user embeddings is public: both item tables,
+        the MLP tower and the prediction head.
+        """
+        public = (
+            self.item_embedding_gmf.weight.size
+            + self.item_embedding_mlp.weight.size
+            + self.prediction.weight.size
+            + self.prediction.bias.size
+        )
+        for layer in self._mlp_layers:
+            public += layer.weight.size + layer.bias.size
+        return public

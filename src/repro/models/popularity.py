@@ -1,0 +1,36 @@
+"""Non-personalized popularity baseline.
+
+Not part of the paper's tables, but a standard sanity check: any trained
+recommender in this repository should beat (or at least match) raw item
+popularity, and the test suite uses it as a floor for the learned models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import Recommender
+from repro.tensor import Tensor
+
+
+class PopularityRecommender(Recommender):
+    """Scores every item by its (normalized) global interaction count."""
+
+    def __init__(self, num_users: int, num_items: int):
+        super().__init__(num_users, num_items)
+        self._scores = np.zeros(num_items, dtype=np.float64)
+
+    def fit(self, item_counts: np.ndarray) -> "PopularityRecommender":
+        """Fit from per-item interaction counts (see ``InteractionDataset.item_popularity``)."""
+        counts = np.asarray(item_counts, dtype=np.float64)
+        if counts.shape != (self.num_items,):
+            raise ValueError(
+                f"expected counts of shape ({self.num_items},), got {counts.shape}"
+            )
+        peak = counts.max()
+        self._scores = counts / peak if peak > 0 else counts
+        return self
+
+    def score(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        items = np.asarray(items, dtype=np.int64)
+        return Tensor(self._scores[items])

@@ -1,0 +1,38 @@
+"""Neural-network building blocks on top of :mod:`repro.tensor`.
+
+Provides the layer/module abstraction used by every recommendation model
+in the repository: parameter registration, ``state_dict`` save/load,
+common layers (``Linear``, ``Embedding``, ``Sequential``, ``Dropout``) and
+weight initializers.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import (
+    Linear,
+    Embedding,
+    Sequential,
+    Dropout,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    LeakyReLU,
+    Identity,
+)
+from repro.nn import init
+from repro.nn import losses
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "Sequential",
+    "Dropout",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "LeakyReLU",
+    "Identity",
+    "init",
+    "losses",
+]

@@ -1,0 +1,49 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit :class:`numpy.random.Generator` so model
+construction is fully reproducible from a seed — important because the
+federated experiments compare methods from identical starting points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization (used by NGCF/LightGCN)."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initialization."""
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """He uniform initialization (for ReLU MLPs such as NeuMF's tower)."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(shape, rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
+    """Small-variance normal initialization (classic for embeddings)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape, rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape)
+
+
+def _fans(shape) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out

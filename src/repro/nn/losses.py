@@ -1,0 +1,54 @@
+"""Loss functions for recommendation training.
+
+Re-exports the numerically stable implementations from
+:mod:`repro.tensor.functional` under the conventional ``nn.losses``
+namespace, plus a pointwise loss object used by the trainers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.tensor import Tensor
+from repro.tensor.functional import (
+    binary_cross_entropy,
+    binary_cross_entropy_with_logits,
+    bpr_loss,
+    l2_regularization,
+    mse_loss,
+)
+
+__all__ = [
+    "binary_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "bpr_loss",
+    "l2_regularization",
+    "mse_loss",
+    "PointwiseBCELoss",
+]
+
+
+class PointwiseBCELoss:
+    """Binary cross-entropy with optional L2 weight decay on given tensors.
+
+    This is the loss used by both sides of PTF-FedRec: clients optimize it
+    over ``D_i ∪ D̃_i`` (Eq. 3) and the server over the uploaded prediction
+    sets ``D̂_i`` (Eq. 5).  Targets may be hard {0, 1} labels or soft
+    prediction scores in ``[0, 1]``.
+    """
+
+    def __init__(self, l2_weight: float = 0.0):
+        self.l2_weight = l2_weight
+
+    def __call__(
+        self,
+        predictions: Tensor,
+        targets: Union[Tensor, np.ndarray],
+        regularized: Iterable[Tensor] = (),
+    ) -> Tensor:
+        loss = binary_cross_entropy(predictions, targets)
+        if self.l2_weight > 0.0:
+            loss = loss + l2_regularization(regularized, self.l2_weight)
+        return loss

@@ -1,0 +1,6 @@
+"""Gradient-descent optimizers and learning-rate schedules."""
+
+from repro.optim.optimizers import Optimizer, SGD, Adam
+from repro.optim.schedulers import ConstantLR, StepLR, ExponentialLR
+
+__all__ = ["Optimizer", "SGD", "Adam", "ConstantLR", "StepLR", "ExponentialLR"]

@@ -1,0 +1,60 @@
+"""Learning-rate schedules.
+
+The paper uses a constant learning rate; step and exponential decay are
+included because the extension benches sweep longer training horizons
+where decay stabilizes the server model.
+"""
+
+from __future__ import annotations
+
+from repro.optim.optimizers import Optimizer
+
+
+class _Scheduler:
+    """Base scheduler: adjusts ``optimizer.lr`` once per :meth:`step`."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self._rate()
+        return self.optimizer.lr
+
+    def _rate(self) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(_Scheduler):
+    """Keeps the learning rate fixed (the paper's setting)."""
+
+    def _rate(self) -> float:
+        return self.base_lr
+
+
+class StepLR(_Scheduler):
+    """Multiplies the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _rate(self) -> float:
+        return self.base_lr * (self.gamma ** (self.epoch // self.step_size))
+
+
+class ExponentialLR(_Scheduler):
+    """Multiplies the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95):
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def _rate(self) -> float:
+        return self.base_lr * (self.gamma ** self.epoch)

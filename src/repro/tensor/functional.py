@@ -1,0 +1,88 @@
+"""Functional helpers built on top of :class:`repro.tensor.Tensor`.
+
+These are thin, composable wrappers used by the model and loss code; they
+keep the numerically delicate pieces (log-sigmoid, clipped BCE) in one
+place so that every model shares the same stable implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+_EPS = 1e-12
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Elementwise logistic sigmoid."""
+    return x.sigmoid()
+
+
+def relu(x: Tensor) -> Tensor:
+    """Elementwise rectified linear unit."""
+    return x.relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    return x.tanh()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """Elementwise leaky ReLU (NGCF uses slope 0.2 as in the original)."""
+    return x.leaky_relu(negative_slope)
+
+
+def concat(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    return Tensor.concat(tensors, axis=axis)
+
+
+def binary_cross_entropy(probabilities: Tensor, targets: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean binary cross-entropy between probabilities and (soft) targets.
+
+    Supports soft labels in ``[0, 1]``, which PTF-FedRec relies on: both
+    the server (Eq. 5) and the clients (Eq. 3) train against prediction
+    scores produced by the other side.
+    """
+    targets = targets if isinstance(targets, Tensor) else Tensor(targets)
+    clipped = probabilities.clip(_EPS, 1.0 - _EPS)
+    loss = -(targets * clipped.log() + (1.0 - targets) * (1.0 - clipped).log())
+    return loss.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean BCE computed from raw logits (numerically stable path)."""
+    return binary_cross_entropy(logits.sigmoid(), targets)
+
+
+def bpr_loss(positive_scores: Tensor, negative_scores: Tensor) -> Tensor:
+    """Bayesian Personalized Ranking loss (Rendle et al., 2009).
+
+    Provided for completeness: the centralized graph recommenders are
+    commonly trained with BPR, and the test suite checks that both BCE and
+    BPR training paths improve ranking quality.
+    """
+    difference = positive_scores - negative_scores
+    return -(difference.sigmoid().clip(_EPS, 1.0).log()).mean()
+
+
+def l2_regularization(tensors: Iterable[Tensor], weight: float) -> Tensor:
+    """Sum of squared values over ``tensors`` scaled by ``weight``."""
+    total = None
+    for tensor in tensors:
+        term = (tensor * tensor).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total * weight
+
+
+def mse_loss(predictions: Tensor, targets: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean squared error."""
+    targets = targets if isinstance(targets, Tensor) else Tensor(targets)
+    diff = predictions - targets
+    return (diff * diff).mean()

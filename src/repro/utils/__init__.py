@@ -1,0 +1,7 @@
+"""Shared utilities: seeded RNG management, timing and simple logging."""
+
+from repro.utils.rng import RngFactory, seeded_rng
+from repro.utils.logging import get_logger
+from repro.utils.timer import Timer
+
+__all__ = ["RngFactory", "seeded_rng", "get_logger", "Timer"]

@@ -1,0 +1,18 @@
+"""Minimal logging helpers shared by trainers and the benchmark harness."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+
+def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
+    """Return a configured logger that writes single-line records to stderr."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+        logger.addHandler(handler)
+        logger.propagate = False
+    logger.setLevel(level)
+    return logger

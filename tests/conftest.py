@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import debug_dataset
+from repro.utils import RngFactory
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, seeded NumPy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rngs() -> RngFactory:
+    """A seeded RNG factory for components that need several streams."""
+    return RngFactory(12345)
+
+
+@pytest.fixture
+def tiny_dataset(rngs):
+    """A small implicit-feedback dataset (25 users, 50 items)."""
+    return debug_dataset(rngs.spawn("tiny-data"), num_users=25, num_items=50,
+                         num_interactions=500)
+
+
+@pytest.fixture
+def small_dataset(rngs):
+    """A slightly larger dataset for integration-style tests."""
+    return debug_dataset(rngs.spawn("small-data"), num_users=40, num_items=80,
+                         num_interactions=900)

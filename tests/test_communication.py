@@ -1,0 +1,86 @@
+"""Tests for the communication cost models and the ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.federated import (
+    CommunicationLedger,
+    dense_parameter_bytes,
+    encrypted_parameter_bytes,
+    prediction_triple_bytes,
+)
+
+
+class TestCostModels:
+    def test_dense_bytes(self):
+        assert dense_parameter_bytes(1000) == 4000
+
+    def test_encrypted_bytes_default_ciphertext(self):
+        assert encrypted_parameter_bytes(10) == 10 * 512
+
+    def test_encrypted_bytes_custom_ciphertext(self):
+        assert encrypted_parameter_bytes(10, ciphertext_bytes=64) == 640
+
+    def test_prediction_triple_bytes(self):
+        # (user id, item id, score) -> 12 bytes per record.
+        assert prediction_triple_bytes(5) == 60
+
+    @pytest.mark.parametrize(
+        "function", [dense_parameter_bytes, encrypted_parameter_bytes, prediction_triple_bytes]
+    )
+    def test_negative_counts_rejected(self, function):
+        with pytest.raises(ValueError):
+            function(-1)
+
+    def test_prediction_payload_is_much_smaller_than_item_table(self):
+        # The core efficiency claim: a typical upload (a few dozen triples)
+        # is orders of magnitude below an item-embedding table.
+        item_table = dense_parameter_bytes(1682 * 32)
+        upload = prediction_triple_bytes(50)
+        assert item_table / upload > 100
+
+
+class TestLedger:
+    def test_total_and_round_aggregation(self):
+        ledger = CommunicationLedger()
+        ledger.record(0, 1, "download", 100)
+        ledger.record(0, 1, "upload", 50)
+        ledger.record(1, 2, "download", 200)
+        assert ledger.total_bytes() == 350
+        assert ledger.bytes_per_round() == {0: 150, 1: 200}
+        assert len(ledger) == 3
+
+    def test_average_client_round_bytes(self):
+        ledger = CommunicationLedger()
+        ledger.record(0, 1, "download", 100)
+        ledger.record(0, 1, "upload", 100)
+        ledger.record(0, 2, "download", 300)
+        ledger.record(1, 1, "upload", 500)
+        # Pairs: (1,0)=200, (2,0)=300, (1,1)=500 -> mean ~333.33.
+        assert ledger.average_client_round_bytes() == pytest.approx(1000 / 3)
+
+    def test_unit_conversions(self):
+        ledger = CommunicationLedger()
+        ledger.record(0, 0, "upload", 2048)
+        assert ledger.average_client_round_kilobytes() == pytest.approx(2.0)
+        assert ledger.average_client_round_megabytes() == pytest.approx(2.0 / 1024)
+
+    def test_empty_ledger_average_is_zero(self):
+        assert CommunicationLedger().average_client_round_bytes() == 0.0
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            CommunicationLedger().record(0, 0, "sideways", 10)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            CommunicationLedger().record(0, 0, "upload", -1)
+
+    def test_records_are_copies(self):
+        ledger = CommunicationLedger()
+        ledger.record(0, 0, "upload", 10, description="test")
+        records = ledger.records
+        assert records[0].description == "test"
+        records.clear()
+        assert len(ledger) == 1

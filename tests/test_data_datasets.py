@@ -1,0 +1,168 @@
+"""Tests for the dataset container, splitting and synthetic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    InteractionDataset,
+    MINI_SPECS,
+    PAPER_SPECS,
+    SyntheticSpec,
+    debug_dataset,
+    generate_dataset,
+    gowalla,
+    movielens_100k,
+    steam_200k,
+)
+
+
+class TestInteractionDataset:
+    def test_basic_construction(self):
+        dataset = InteractionDataset(3, 5, [(0, 1), (0, 2), (1, 0)], [(0, 3)], name="toy")
+        assert dataset.num_train_interactions == 3
+        assert dataset.num_test_interactions == 1
+        np.testing.assert_array_equal(dataset.train_items(0), [1, 2])
+        np.testing.assert_array_equal(dataset.test_items(0), [3])
+
+    def test_duplicate_pairs_collapse(self):
+        dataset = InteractionDataset(2, 4, [(0, 1), (0, 1), (0, 1)])
+        assert dataset.num_train_interactions == 1
+
+    def test_out_of_range_user_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionDataset(2, 4, [(5, 1)])
+
+    def test_out_of_range_item_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionDataset(2, 4, [(0, 9)])
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionDataset(0, 4, [])
+
+    def test_unknown_user_has_empty_items(self):
+        dataset = InteractionDataset(3, 5, [(0, 1)])
+        assert dataset.train_items(2).size == 0
+        assert dataset.test_items(2).size == 0
+
+    def test_train_matrix_matches_pairs(self):
+        dataset = InteractionDataset(3, 4, [(0, 1), (2, 3)])
+        matrix = dataset.train_matrix()
+        assert matrix.shape == (3, 4)
+        assert matrix[0, 1] == 1 and matrix[2, 3] == 1
+        assert matrix.sum() == 2
+
+    def test_item_popularity(self):
+        dataset = InteractionDataset(3, 4, [(0, 1), (1, 1), (2, 0)])
+        np.testing.assert_array_equal(dataset.item_popularity(), [1, 2, 0, 0])
+
+    def test_stats(self):
+        dataset = InteractionDataset(2, 10, [(0, 1), (0, 2), (1, 3)], [(1, 4)], name="s")
+        stats = dataset.stats()
+        assert stats.num_interactions == 4
+        assert stats.average_profile_length == pytest.approx(2.0)
+        assert stats.density == pytest.approx(4 / 20)
+        assert stats.as_row()["dataset"] == "s"
+
+    def test_subset_users(self):
+        dataset = InteractionDataset(3, 5, [(0, 1), (1, 2), (2, 3)], [(1, 4)])
+        subset = dataset.subset_users([1])
+        assert subset.users == [1]
+        assert subset.num_test_interactions == 1
+
+
+class TestSplitting:
+    def test_split_ratio_roughly_respected(self, rng):
+        pairs = [(u, i) for u in range(20) for i in range(10)]
+        dataset = InteractionDataset.from_pairs(20, 10, pairs, train_ratio=0.8, rng=rng)
+        total = dataset.num_train_interactions + dataset.num_test_interactions
+        assert total == 200
+        ratio = dataset.num_train_interactions / total
+        assert 0.75 <= ratio <= 0.85
+
+    def test_every_user_keeps_a_training_item(self, rng):
+        pairs = [(u, u % 5) for u in range(10)]
+        dataset = InteractionDataset.from_pairs(10, 5, pairs, rng=rng)
+        for user in range(10):
+            assert dataset.train_items(user).size >= 1
+
+    def test_train_and_test_are_disjoint_per_user(self, rng):
+        pairs = [(u, i) for u in range(15) for i in range(12)]
+        dataset = InteractionDataset.from_pairs(15, 12, pairs, rng=rng)
+        for user in dataset.users:
+            overlap = set(dataset.train_items(user)) & set(dataset.test_items(user))
+            assert not overlap
+
+    def test_invalid_ratio_rejected(self, rng):
+        with pytest.raises(ValueError):
+            InteractionDataset.from_pairs(2, 2, [(0, 0)], train_ratio=1.5, rng=rng)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=2, max_value=12))
+    def test_split_never_loses_interactions(self, users, items):
+        rng = np.random.default_rng(0)
+        pairs = [(u, i) for u in range(users) for i in range(items) if (u + i) % 2 == 0]
+        dataset = InteractionDataset.from_pairs(users, items, pairs, rng=rng)
+        assert dataset.num_train_interactions + dataset.num_test_interactions == len(pairs)
+
+
+class TestSyntheticGenerators:
+    def test_debug_dataset_dimensions(self, rng):
+        dataset = debug_dataset(rng, num_users=20, num_items=40, num_interactions=300)
+        assert dataset.num_users == 20
+        assert dataset.num_items == 40
+        total = dataset.num_train_interactions + dataset.num_test_interactions
+        assert 0.7 * 300 <= total <= 1.1 * 300
+
+    def test_generator_is_deterministic_per_seed(self):
+        first = debug_dataset(np.random.default_rng(5))
+        second = debug_dataset(np.random.default_rng(5))
+        np.testing.assert_array_equal(first.train_pairs, second.train_pairs)
+
+    def test_paper_specs_match_table2(self):
+        ml = PAPER_SPECS["movielens-100k"]
+        assert (ml.num_users, ml.num_items, ml.num_interactions) == (943, 1682, 100_000)
+        steam = PAPER_SPECS["steam-200k"]
+        assert (steam.num_users, steam.num_items) == (3753, 5134)
+        gw = PAPER_SPECS["gowalla"]
+        assert gw.num_interactions == 391_238
+
+    def test_scaled_spec_preserves_density(self):
+        spec = PAPER_SPECS["movielens-100k"]
+        scaled = spec.scaled(0.25)
+        original_density = spec.num_interactions / (spec.num_users * spec.num_items)
+        scaled_density = scaled.num_interactions / (scaled.num_users * scaled.num_items)
+        assert scaled_density == pytest.approx(original_density, rel=0.35)
+
+    def test_scaled_spec_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            PAPER_SPECS["gowalla"].scaled(0.0)
+
+    def test_mini_specs_preserve_density_ordering(self):
+        def density(spec):
+            return spec.num_interactions / (spec.num_users * spec.num_items)
+
+        assert density(MINI_SPECS["movielens-mini"]) > density(MINI_SPECS["steam-mini"])
+        assert density(MINI_SPECS["steam-mini"]) > density(MINI_SPECS["gowalla-mini"])
+
+    def test_small_scale_presets_have_expected_shapes(self, rng):
+        dataset = movielens_100k(rng, scale=0.05)
+        assert dataset.num_users == pytest.approx(943 * 0.05, abs=2)
+        assert dataset.num_items == pytest.approx(1682 * 0.05, abs=2)
+
+    def test_popularity_is_long_tailed(self, rng):
+        dataset = generate_dataset(
+            SyntheticSpec("skewed", 60, 120, 1500, popularity_exponent=1.2), rng=rng
+        )
+        counts = np.sort(dataset.item_popularity())[::-1]
+        top_decile = counts[: len(counts) // 10].sum()
+        assert top_decile > 0.2 * counts.sum()
+
+    def test_steam_and_gowalla_presets_scale(self, rng):
+        steam = steam_200k(rng, scale=0.03)
+        gow = gowalla(rng, scale=0.02)
+        assert steam.num_users > 0 and gow.num_users > 0
+        assert steam.num_items < 5134 and gow.num_items < 10_068

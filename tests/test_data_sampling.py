@@ -1,0 +1,154 @@
+"""Tests for negative sampling, batch iteration and the MovieLens loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    BatchIterator,
+    UserBatchSampler,
+    build_pointwise_samples,
+    load_movielens_file,
+    sample_negative_items,
+)
+
+
+class TestNegativeSampling:
+    def test_never_returns_positives(self, rng):
+        positives = np.array([0, 1, 2, 3])
+        negatives = sample_negative_items(20, positives, 50, rng)
+        assert not set(negatives.tolist()) & set(positives.tolist())
+
+    def test_requested_count(self, rng):
+        negatives = sample_negative_items(100, np.array([5]), 17, rng)
+        assert negatives.size == 17
+
+    def test_zero_samples(self, rng):
+        assert sample_negative_items(10, np.array([1]), 0, rng).size == 0
+
+    def test_all_items_positive_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_negative_items(3, np.array([0, 1, 2]), 5, rng)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=5, max_value=50), st.integers(min_value=1, max_value=20))
+    def test_property_negatives_in_range_and_disjoint(self, num_items, num_positives):
+        rng = np.random.default_rng(3)
+        num_positives = min(num_positives, num_items - 1)
+        positives = rng.choice(num_items, size=num_positives, replace=False)
+        negatives = sample_negative_items(num_items, positives, 30, rng)
+        assert np.all((negatives >= 0) & (negatives < num_items))
+        assert not set(negatives.tolist()) & set(positives.tolist())
+
+
+class TestPointwiseSamples:
+    def test_ratio_respected(self, tiny_dataset, rng):
+        users, items, labels = build_pointwise_samples(tiny_dataset, negative_ratio=4, rng=rng)
+        positives = labels.sum()
+        negatives = (labels == 0).sum()
+        assert negatives == pytest.approx(4 * positives, rel=0.01)
+
+    def test_positive_items_come_from_train_split(self, tiny_dataset, rng):
+        users, items, labels = build_pointwise_samples(tiny_dataset, rng=rng)
+        for user, item, label in zip(users, items, labels):
+            if label == 1.0:
+                assert item in set(tiny_dataset.train_items(user).tolist())
+
+    def test_user_subset(self, tiny_dataset, rng):
+        chosen = tiny_dataset.users[:3]
+        users, _, _ = build_pointwise_samples(tiny_dataset, rng=rng, users=chosen)
+        assert set(users.tolist()) <= set(chosen)
+
+
+class TestUserBatchSampler:
+    def test_epoch_covers_positives(self, rng):
+        positives = np.array([1, 3, 5])
+        sampler = UserBatchSampler(20, positives, negative_ratio=2, batch_size=4, rng=rng)
+        seen_positive = set()
+        for items, labels in sampler.epoch():
+            assert len(items) <= 4
+            seen_positive.update(items[labels == 1.0].tolist())
+        assert seen_positive == {1, 3, 5}
+
+    def test_extra_soft_labels_are_included(self, rng):
+        sampler = UserBatchSampler(30, np.array([2]), negative_ratio=1, batch_size=8, rng=rng)
+        extra_items = np.array([10, 11])
+        extra_labels = np.array([0.7, 0.3])
+        all_items = []
+        all_labels = []
+        for items, labels in sampler.epoch(extra_items, extra_labels):
+            all_items.extend(items.tolist())
+            all_labels.extend(labels.tolist())
+        assert 10 in all_items and 11 in all_items
+        assert 0.7 in all_labels and 0.3 in all_labels
+
+    def test_sampled_training_items_structure(self, rng):
+        sampler = UserBatchSampler(25, np.array([0, 4]), negative_ratio=3, rng=rng)
+        pool = sampler.sampled_training_items()
+        np.testing.assert_array_equal(pool["positives"], [0, 4])
+        assert pool["negatives"].size > 0
+        assert not set(pool["negatives"].tolist()) & {0, 4}
+
+    def test_invalid_batch_size(self, rng):
+        with pytest.raises(ValueError):
+            UserBatchSampler(10, np.array([1]), batch_size=0, rng=rng)
+
+
+class TestBatchIterator:
+    def test_batches_partition_data(self, rng):
+        data = np.arange(10)
+        labels = np.arange(10) * 2
+        iterator = BatchIterator(data, labels, batch_size=3, rng=rng)
+        seen = []
+        for batch_data, batch_labels in iterator:
+            np.testing.assert_array_equal(batch_labels, batch_data * 2)
+            seen.extend(batch_data.tolist())
+        assert sorted(seen) == list(range(10))
+        assert len(iterator) == 4
+
+    def test_no_shuffle_preserves_order(self):
+        iterator = BatchIterator(np.arange(6), batch_size=2, shuffle=False)
+        first_batch = next(iter(iterator))[0]
+        np.testing.assert_array_equal(first_batch, [0, 1])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            BatchIterator(np.arange(5), np.arange(6), batch_size=2)
+
+    def test_empty_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            BatchIterator(batch_size=2)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchIterator(np.arange(3), batch_size=0)
+
+
+class TestMovieLensLoader:
+    def test_loads_tab_separated_file(self, tmp_path, rng):
+        path = tmp_path / "u.data"
+        rows = ["1\t10\t5\t881250949", "1\t20\t4\t881250949", "2\t10\t3\t881250949",
+                "2\t30\t1\t881250949", "3\t20\t5\t881250949", "3\t30\t4\t881250949"]
+        path.write_text("\n".join(rows), encoding="utf-8")
+        dataset = load_movielens_file(path, rng=rng)
+        assert dataset.num_users == 3
+        assert dataset.num_items == 3
+        assert dataset.num_train_interactions + dataset.num_test_interactions == 6
+
+    def test_positive_threshold_filters_rows(self, tmp_path, rng):
+        path = tmp_path / "u.data"
+        path.write_text("1\t10\t5\t0\n1\t20\t1\t0\n2\t10\t2\t0\n", encoding="utf-8")
+        dataset = load_movielens_file(path, rng=rng, positive_threshold=4.0)
+        assert dataset.num_train_interactions + dataset.num_test_interactions == 1
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_movielens_file(tmp_path / "missing.data")
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "u.data"
+        path.write_text("1\t10\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_movielens_file(path)

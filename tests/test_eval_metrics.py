@@ -1,0 +1,150 @@
+"""Tests for ranking metrics and the full-ranking evaluator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import InteractionDataset
+from repro.eval import (
+    RankingEvaluator,
+    f1_score,
+    hit_rate_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.models import PopularityRecommender
+
+
+class TestMetricValues:
+    def test_recall_perfect(self):
+        assert recall_at_k([1, 2, 3], [1, 2, 3], 3) == 1.0
+
+    def test_recall_partial(self):
+        assert recall_at_k([1, 9, 8], [1, 2], 3) == pytest.approx(0.5)
+
+    def test_recall_empty_relevant(self):
+        assert recall_at_k([1, 2], [], 2) == 0.0
+
+    def test_precision(self):
+        assert precision_at_k([1, 2, 3, 4], [1, 3], 4) == pytest.approx(0.5)
+
+    def test_precision_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], [1], 0)
+
+    def test_hit_rate(self):
+        assert hit_rate_at_k([5, 6], [6], 2) == 1.0
+        assert hit_rate_at_k([5, 6], [7], 2) == 0.0
+
+    def test_ndcg_perfect_is_one(self):
+        assert ndcg_at_k([4, 5, 6], [4, 5, 6], 3) == pytest.approx(1.0)
+
+    def test_ndcg_rank_sensitivity(self):
+        early = ndcg_at_k([1, 9, 8], [1], 3)
+        late = ndcg_at_k([9, 8, 1], [1], 3)
+        assert early > late > 0.0
+
+    def test_ndcg_no_relevant(self):
+        assert ndcg_at_k([1, 2], [], 5) == 0.0
+
+    def test_f1_symmetric_perfect(self):
+        assert f1_score([1, 2, 3], [3, 2, 1]) == pytest.approx(1.0)
+
+    def test_f1_disjoint(self):
+        assert f1_score([1, 2], [3, 4]) == 0.0
+
+    def test_f1_partial(self):
+        # predicted {1,2}, actual {2,3}: precision 0.5, recall 0.5.
+        assert f1_score([1, 2], [2, 3]) == pytest.approx(0.5)
+
+    def test_f1_empty_sets(self):
+        assert f1_score([], [1]) == 0.0
+        assert f1_score([1], []) == 0.0
+
+
+class TestMetricProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 30), min_size=1, max_size=15, unique=True),
+        st.lists(st.integers(0, 30), min_size=1, max_size=15, unique=True),
+        st.integers(min_value=1, max_value=15),
+    )
+    def test_metrics_bounded_in_unit_interval(self, recommended, relevant, k):
+        for metric in (recall_at_k, precision_at_k, hit_rate_at_k, ndcg_at_k):
+            value = metric(recommended, relevant, k)
+            assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 30), min_size=2, max_size=15, unique=True),
+        st.lists(st.integers(0, 30), min_size=1, max_size=15, unique=True),
+    )
+    def test_recall_monotone_in_k(self, recommended, relevant):
+        shallow = recall_at_k(recommended, relevant, 1)
+        deep = recall_at_k(recommended, relevant, len(recommended))
+        assert deep >= shallow
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=10, unique=True))
+    def test_f1_is_one_only_for_identical_sets(self, items):
+        assert f1_score(items, items) == pytest.approx(1.0)
+
+
+class TestRankingEvaluator:
+    def _dataset(self):
+        train = [(0, 0), (0, 1), (1, 2), (1, 3), (2, 4)]
+        test = [(0, 5), (1, 6), (2, 7)]
+        return InteractionDataset(3, 8, train, test, name="eval")
+
+    def test_popularity_oracle_gets_perfect_recall(self):
+        dataset = self._dataset()
+        model = PopularityRecommender(3, 8)
+        # Give the test items the highest popularity so the non-personalized
+        # ranker must place them on top once train items are excluded.
+        counts = np.array([1, 1, 1, 1, 1, 10, 10, 10])
+        model.fit(counts)
+        result = RankingEvaluator(dataset, k=3).evaluate(model)
+        assert result.recall == pytest.approx(1.0)
+        assert result.hit_rate == pytest.approx(1.0)
+        assert result.num_users_evaluated == 3
+
+    def test_train_items_are_excluded_from_ranking(self):
+        dataset = self._dataset()
+        model = PopularityRecommender(3, 8)
+        # Train items are globally most popular; they must not crowd out the
+        # test items because the evaluator excludes them per user.
+        model.fit(np.array([50, 50, 50, 50, 50, 5, 5, 5]))
+        result = RankingEvaluator(dataset, k=5).evaluate(model)
+        assert result.recall > 0.0
+
+    def test_max_users_limits_evaluation(self):
+        dataset = self._dataset()
+        model = PopularityRecommender(3, 8).fit(np.arange(8))
+        result = RankingEvaluator(dataset, k=3).evaluate(model, max_users=2)
+        assert result.num_users_evaluated == 2
+
+    def test_users_without_test_items_are_skipped(self):
+        dataset = InteractionDataset(2, 5, [(0, 0), (1, 1)], [(0, 2)])
+        model = PopularityRecommender(2, 5).fit(np.ones(5))
+        result = RankingEvaluator(dataset, k=2).evaluate(model)
+        assert result.num_users_evaluated == 1
+
+    def test_empty_test_split_returns_zeroes(self):
+        dataset = InteractionDataset(2, 5, [(0, 0)], [])
+        model = PopularityRecommender(2, 5).fit(np.ones(5))
+        result = RankingEvaluator(dataset, k=2).evaluate(model)
+        assert result.num_users_evaluated == 0
+        assert result.recall == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            RankingEvaluator(self._dataset(), k=0)
+
+    def test_as_dict_keys(self):
+        dataset = self._dataset()
+        model = PopularityRecommender(3, 8).fit(np.ones(8))
+        result = RankingEvaluator(dataset, k=4).evaluate(model)
+        assert set(result.as_dict()) == {"Recall@4", "NDCG@4", "Precision@4", "HitRate@4"}

@@ -1,0 +1,239 @@
+"""Tests for the recommendation models (NeuMF, NGCF, LightGCN, MF)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    LightGCN,
+    MatrixFactorization,
+    NGCF,
+    NeuMF,
+    PopularityRecommender,
+    build_normalized_adjacency,
+    create_model,
+    pairs_from_scores,
+    MODEL_REGISTRY,
+)
+from repro.nn.losses import PointwiseBCELoss
+from repro.optim import Adam
+from repro.tensor import check_gradients
+
+NUM_USERS = 6
+NUM_ITEMS = 12
+
+
+def _make(model_class, rng, **kwargs):
+    defaults = {"embedding_dim": 8}
+    defaults.update(kwargs)
+    return model_class(NUM_USERS, NUM_ITEMS, rng=rng, **defaults)
+
+
+def _all_models(rng):
+    pairs = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]
+    return {
+        "mf": _make(MatrixFactorization, rng),
+        "neumf": _make(NeuMF, rng, mlp_layers=(16, 8)),
+        "ngcf": _make(NGCF, rng, num_layers=2, interaction_pairs=pairs),
+        "lightgcn": _make(LightGCN, rng, num_layers=2, interaction_pairs=pairs),
+    }
+
+
+class TestScoreContract:
+    @pytest.mark.parametrize("name", ["mf", "neumf", "ngcf", "lightgcn"])
+    def test_scores_are_probabilities(self, name, rng):
+        model = _all_models(rng)[name]
+        users = np.array([0, 1, 2, 3])
+        items = np.array([0, 5, 7, 11])
+        scores = model.score(users, items).numpy()
+        assert scores.shape == (4,)
+        assert np.all((scores > 0.0) & (scores < 1.0))
+
+    @pytest.mark.parametrize("name", ["mf", "neumf", "ngcf", "lightgcn"])
+    def test_score_all_items_shape(self, name, rng):
+        model = _all_models(rng)[name]
+        scores = model.score_all_items(2)
+        assert scores.shape == (NUM_ITEMS,)
+        assert np.all(np.isfinite(scores))
+
+    @pytest.mark.parametrize("name", ["mf", "neumf", "ngcf", "lightgcn"])
+    def test_recommend_excludes_items(self, name, rng):
+        model = _all_models(rng)[name]
+        excluded = [0, 1, 2]
+        recommended = model.recommend(1, k=5, exclude_items=excluded)
+        assert len(recommended) == 5
+        assert not set(recommended.tolist()) & set(excluded)
+
+    @pytest.mark.parametrize("name", ["mf", "neumf", "ngcf", "lightgcn"])
+    def test_deterministic_given_seed(self, name):
+        first = _all_models(np.random.default_rng(7))[name]
+        second = _all_models(np.random.default_rng(7))[name]
+        users = np.array([0, 3])
+        items = np.array([2, 9])
+        np.testing.assert_allclose(
+            first.score_pairs(users, items), second.score_pairs(users, items)
+        )
+
+    def test_invalid_sizes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MatrixFactorization(0, 5, rng=rng)
+
+
+class TestTrainability:
+    @pytest.mark.parametrize("name", ["mf", "neumf", "ngcf", "lightgcn"])
+    def test_loss_decreases_with_training(self, name, rng):
+        model = _all_models(rng)[name]
+        optimizer = Adam(model.parameters(), lr=0.02)
+        loss_fn = PointwiseBCELoss()
+        users = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        items = np.array([1, 7, 2, 9, 3, 10, 4, 11])
+        labels = np.array([1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0])
+        model.train()
+        first = None
+        for _ in range(60):
+            loss = loss_fn(model.score(users, items), labels)
+            if first is None:
+                first = loss.item()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 0.6 * first
+
+    def test_neumf_gradients_match_finite_differences(self, rng):
+        model = NeuMF(3, 5, embedding_dim=3, mlp_layers=(4,), rng=rng)
+        users = np.array([0, 1, 2])
+        items = np.array([1, 2, 4])
+        labels = np.array([1.0, 0.0, 1.0])
+        loss_fn = PointwiseBCELoss()
+        parameters = list(model.parameters())
+
+        def loss():
+            return loss_fn(model.score(users, items), labels)
+
+        model.eval()  # keep update counters quiet during repeated evaluation
+        check_gradients(loss, parameters[:4], atol=2e-4)
+
+    def test_mf_gradients_match_finite_differences(self, rng):
+        model = MatrixFactorization(3, 4, embedding_dim=3, rng=rng)
+        users = np.array([0, 1, 2])
+        items = np.array([1, 2, 3])
+        labels = np.array([1.0, 0.0, 1.0])
+        loss_fn = PointwiseBCELoss()
+
+        def loss():
+            return loss_fn(model.score(users, items), labels)
+
+        model.eval()
+        check_gradients(loss, list(model.parameters()), atol=2e-4)
+
+
+class TestGraphModels:
+    def test_adjacency_is_symmetric_and_normalized(self):
+        pairs = [(0, 0), (0, 1), (1, 1), (2, 3)]
+        adjacency = build_normalized_adjacency(3, 4, pairs)
+        dense = adjacency.toarray()
+        np.testing.assert_allclose(dense, dense.T, atol=1e-12)
+        # Largest eigenvalue of the symmetric normalized adjacency is <= 1.
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert eigenvalues.max() <= 1.0 + 1e-8
+
+    def test_adjacency_empty_graph(self):
+        adjacency = build_normalized_adjacency(2, 3, [])
+        assert adjacency.nnz == 0
+
+    def test_duplicate_edges_do_not_inflate_weights(self):
+        once = build_normalized_adjacency(2, 2, [(0, 0)])
+        twice = build_normalized_adjacency(2, 2, [(0, 0), (0, 0)])
+        np.testing.assert_allclose(once.toarray(), twice.toarray())
+
+    def test_pairs_from_scores_threshold(self):
+        users = np.array([0, 0, 1])
+        items = np.array([1, 2, 3])
+        scores = np.array([0.9, 0.2, 0.6])
+        pairs = pairs_from_scores(users, items, scores, threshold=0.5)
+        assert {(0, 1), (1, 3)} == {tuple(p) for p in pairs}
+
+    def test_pairs_from_scores_deduplicates(self):
+        users = np.array([0, 0])
+        items = np.array([1, 1])
+        scores = np.array([0.9, 0.8])
+        assert pairs_from_scores(users, items, scores).shape == (1, 2)
+
+    def test_pairs_from_scores_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pairs_from_scores(np.array([0]), np.array([1, 2]), np.array([0.5]))
+
+    @pytest.mark.parametrize("model_class", [NGCF, LightGCN])
+    def test_set_interaction_graph_changes_predictions(self, model_class, rng):
+        model = model_class(NUM_USERS, NUM_ITEMS, embedding_dim=8, num_layers=2, rng=rng)
+        users = np.array([0, 1])
+        items = np.array([2, 3])
+        before = model.score_pairs(users, items)
+        model.set_interaction_graph([(0, 2), (1, 3), (2, 5)])
+        after = model.score_pairs(users, items)
+        assert not np.allclose(before, after)
+
+    @pytest.mark.parametrize("model_class", [NGCF, LightGCN])
+    def test_eval_cache_invalidation_on_train(self, model_class, rng):
+        model = model_class(4, 6, embedding_dim=4, num_layers=1, rng=rng,
+                            interaction_pairs=[(0, 1)])
+        users = np.array([0])
+        items = np.array([1])
+        baseline = model.score_pairs(users, items)
+        # Perturb the embedding; the eval cache must not serve stale values
+        # after a train()/eval() cycle.
+        model.train()
+        model.node_embedding.data = model.node_embedding.data + 0.5
+        model.eval()
+        changed = model.score_pairs(users, items)
+        assert not np.allclose(baseline, changed)
+
+    @pytest.mark.parametrize("model_class", [NGCF, LightGCN])
+    def test_item_update_counts_tracked(self, model_class, rng):
+        model = model_class(4, 6, embedding_dim=4, num_layers=1, rng=rng)
+        model.train()
+        model.score(np.array([0, 1]), np.array([2, 2]))
+        counts = model.item_update_counts()
+        assert counts[2] == 2
+        assert counts.sum() == 2
+
+
+class TestPublicParameterCounts:
+    def test_mf_public_count(self, rng):
+        model = MatrixFactorization(NUM_USERS, NUM_ITEMS, embedding_dim=8, rng=rng)
+        assert model.public_parameter_count() == NUM_ITEMS * 8 + NUM_ITEMS
+
+    def test_neumf_public_excludes_user_tables(self, rng):
+        model = NeuMF(NUM_USERS, NUM_ITEMS, embedding_dim=8, mlp_layers=(16, 8), rng=rng)
+        total = model.num_parameters()
+        private = 2 * NUM_USERS * 8
+        assert model.public_parameter_count() == total - private
+
+    def test_lightgcn_public_count(self, rng):
+        model = LightGCN(NUM_USERS, NUM_ITEMS, embedding_dim=8, rng=rng)
+        assert model.public_parameter_count() == NUM_ITEMS * 8
+
+
+class TestFactoryAndPopularity:
+    def test_factory_creates_all_registered_models(self, rng):
+        for name in MODEL_REGISTRY:
+            model = create_model(name, 4, 6, embedding_dim=4, rng=rng)
+            assert model.num_users == 4 and model.num_items == 6
+
+    def test_factory_is_case_insensitive(self, rng):
+        assert isinstance(create_model("NeuMF", 3, 3, rng=rng), NeuMF)
+
+    def test_factory_unknown_name(self, rng):
+        with pytest.raises(KeyError):
+            create_model("transformer4rec", 3, 3, rng=rng)
+
+    def test_popularity_recommender_orders_by_count(self):
+        model = PopularityRecommender(3, 5)
+        model.fit(np.array([0, 5, 2, 1, 3]))
+        recommended = model.recommend(0, k=3)
+        assert recommended[0] == 1
+
+    def test_popularity_requires_matching_shape(self):
+        with pytest.raises(ValueError):
+            PopularityRecommender(3, 5).fit(np.array([1, 2]))

@@ -1,0 +1,196 @@
+"""Tests for the nn layer library: registration, layers, state dicts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Dropout, Embedding, Linear, Module, Parameter, Sequential
+from repro.tensor import Tensor
+
+
+class _TwoLayerNet(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.first = Linear(4, 8, rng=rng)
+        self.second = Linear(8, 1, rng=rng)
+        self.scale = Parameter(np.array([2.0]))
+
+    def forward(self, x):
+        return self.second(self.first(x).relu()) * self.scale
+
+
+class TestModule:
+    def test_named_parameters_are_qualified(self, rng):
+        net = _TwoLayerNet(rng)
+        names = {name for name, _ in net.named_parameters()}
+        assert "first.weight" in names
+        assert "second.bias" in names
+        assert "scale" in names
+
+    def test_parameter_count(self, rng):
+        net = _TwoLayerNet(rng)
+        expected = 4 * 8 + 8 + 8 * 1 + 1 + 1
+        assert net.num_parameters() == expected
+
+    def test_zero_grad_resets_all(self, rng):
+        net = _TwoLayerNet(rng)
+        x = Tensor(np.ones((3, 4)))
+        net(x).sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_train_eval_propagates(self, rng):
+        net = Sequential(Linear(4, 4, rng=rng), Dropout(0.5))
+        net.eval()
+        assert not net.training
+        assert all(not module.training for module in net)
+        net.train()
+        assert all(module.training for module in net)
+
+    def test_state_dict_roundtrip(self, rng):
+        net = _TwoLayerNet(rng)
+        other = _TwoLayerNet(np.random.default_rng(999))
+        other.load_state_dict(net.state_dict())
+        x = Tensor(np.random.default_rng(3).normal(size=(2, 4)))
+        np.testing.assert_allclose(net(x).numpy(), other(x).numpy())
+
+    def test_state_dict_is_a_copy(self, rng):
+        net = _TwoLayerNet(rng)
+        state = net.state_dict()
+        state["scale"][0] = 123.0
+        assert net.scale.data[0] != 123.0
+
+    def test_load_state_dict_rejects_missing_keys(self, rng):
+        net = _TwoLayerNet(rng)
+        state = net.state_dict()
+        state.pop("scale")
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_state_dict_rejects_shape_mismatch(self, rng):
+        net = _TwoLayerNet(rng)
+        state = net.state_dict()
+        state["scale"] = np.zeros(3)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor([1.0]))
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        assert layer(Tensor(np.ones((7, 5)))).shape == (7, 3)
+
+    def test_no_bias_option(self, rng):
+        layer = Linear(5, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert layer.num_parameters() == 15
+
+    def test_linearity(self, rng):
+        layer = Linear(4, 2, bias=False, rng=rng)
+        x = np.random.default_rng(1).normal(size=(3, 4))
+        doubled = layer(Tensor(2 * x)).numpy()
+        np.testing.assert_allclose(doubled, 2 * layer(Tensor(x)).numpy(), atol=1e-10)
+
+    def test_trains_toward_target(self, rng):
+        from repro.optim import Adam
+        from repro.tensor.functional import mse_loss
+
+        layer = Linear(3, 1, rng=rng)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        inputs = np.random.default_rng(2).normal(size=(32, 3))
+        targets = inputs @ np.array([[1.0], [-2.0], [0.5]]) + 0.3
+        first_loss = None
+        for _ in range(200):
+            loss = mse_loss(layer(Tensor(inputs)), targets)
+            if first_loss is None:
+                first_loss = loss.item()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 0.01 * first_loss
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        table = Embedding(10, 4, rng=rng)
+        assert table(np.array([0, 3, 3])).shape == (3, 4)
+
+    def test_update_counts_track_training_lookups(self, rng):
+        table = Embedding(10, 4, rng=rng)
+        table(np.array([1, 1, 2]))
+        np.testing.assert_array_equal(table.update_counts[[1, 2, 3]], [2, 1, 0])
+
+    def test_update_counts_not_tracked_in_eval(self, rng):
+        table = Embedding(10, 4, rng=rng)
+        table.eval()
+        table(np.array([1, 1, 2]))
+        assert table.update_counts.sum() == 0
+
+    def test_gradient_reaches_only_looked_up_rows(self, rng):
+        table = Embedding(6, 3, rng=rng)
+        out = table(np.array([1, 4]))
+        out.sum().backward()
+        grad = table.weight.grad
+        assert np.all(grad[[0, 2, 3, 5]] == 0.0)
+        assert np.all(grad[[1, 4]] == 1.0)
+
+
+class TestDropoutAndActivations:
+    def test_dropout_eval_is_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_array_equal(layer(x).numpy(), x.numpy())
+
+    def test_dropout_training_zeroes_some_values(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((100, 10)))).numpy()
+        assert np.any(out == 0.0)
+        # Inverted dropout keeps the expectation roughly constant.
+        assert out.mean() == pytest.approx(1.0, abs=0.15)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_activation_modules(self):
+        x = Tensor(np.array([-1.0, 2.0]))
+        assert np.all(nn.ReLU()(x).numpy() == [0.0, 2.0])
+        assert nn.Sigmoid()(x).numpy()[1] > 0.5
+        assert nn.Tanh()(x).numpy()[0] < 0
+        assert nn.LeakyReLU(0.1)(x).numpy()[0] == pytest.approx(-0.1)
+        np.testing.assert_array_equal(nn.Identity()(x).numpy(), x.numpy())
+
+
+class TestInitializers:
+    def test_xavier_uniform_bounds(self, rng):
+        values = nn.init.xavier_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(values) <= limit)
+
+    def test_xavier_normal_std(self, rng):
+        values = nn.init.xavier_normal((200, 100), rng)
+        assert values.std() == pytest.approx(np.sqrt(2.0 / 300), rel=0.15)
+
+    def test_kaiming_uniform_scale(self, rng):
+        values = nn.init.kaiming_uniform((64, 32), rng)
+        assert np.all(np.abs(values) <= np.sqrt(6.0 / 32))
+
+    def test_normal_std(self, rng):
+        values = nn.init.normal((1000,), rng, std=0.05)
+        assert values.std() == pytest.approx(0.05, rel=0.2)
+
+    def test_zeros(self):
+        assert np.all(nn.init.zeros((3, 3)) == 0.0)
+
+    def test_initializers_deterministic_per_seed(self):
+        a = nn.init.xavier_uniform((5, 5), np.random.default_rng(1))
+        b = nn.init.xavier_uniform((5, 5), np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,154 @@
+"""Tests for optimizers and learning-rate schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optim import SGD, Adam, ConstantLR, ExponentialLR, StepLR
+from repro.tensor import Tensor
+
+
+def _quadratic_problem(seed=0):
+    """A convex quadratic: minimize ||x - target||^2."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(0, 1, size=5), requires_grad=True)
+    target = rng.normal(0, 1, size=5)
+
+    def loss_fn():
+        diff = x - Tensor(target)
+        return (diff * diff).sum()
+
+    return x, target, loss_fn
+
+
+class TestSGD:
+    def test_single_step_matches_formula(self):
+        x = Tensor(np.array([1.0, -2.0]), requires_grad=True)
+        optimizer = SGD([x], lr=0.1)
+        (x * x).sum().backward()
+        optimizer.step()
+        np.testing.assert_allclose(x.data, [1.0 - 0.1 * 2.0, -2.0 + 0.1 * 4.0])
+
+    def test_converges_on_quadratic(self):
+        x, target, loss_fn = _quadratic_problem()
+        optimizer = SGD([x], lr=0.1)
+        for _ in range(100):
+            loss = loss_fn()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(x.data, target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        x_plain, target, loss_plain = _quadratic_problem(seed=1)
+        x_momentum = Tensor(x_plain.data.copy(), requires_grad=True)
+
+        def loss_momentum():
+            diff = x_momentum - Tensor(target)
+            return (diff * diff).sum()
+
+        plain = SGD([x_plain], lr=0.02)
+        momentum = SGD([x_momentum], lr=0.02, momentum=0.9)
+        for _ in range(30):
+            for optimizer, loss_fn, parameter in (
+                (plain, loss_plain, x_plain),
+                (momentum, loss_momentum, x_momentum),
+            ):
+                loss = loss_fn()
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        assert loss_momentum().item() < loss_plain().item()
+
+    def test_weight_decay_shrinks_parameters(self):
+        x = Tensor(np.array([10.0]), requires_grad=True)
+        optimizer = SGD([x], lr=0.1, weight_decay=0.5)
+        (x * 0.0).sum().backward()
+        optimizer.step()
+        assert abs(x.data[0]) < 10.0
+
+    def test_skips_parameters_without_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        SGD([x], lr=0.1).step()
+        np.testing.assert_allclose(x.data, [1.0])
+
+    def test_invalid_arguments(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([x], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([x], lr=0.1, momentum=1.5)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        x, target, loss_fn = _quadratic_problem(seed=2)
+        optimizer = Adam([x], lr=0.05)
+        for _ in range(400):
+            loss = loss_fn()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(x.data, target, atol=1e-2)
+
+    def test_first_step_size_is_learning_rate(self):
+        # With bias correction the first Adam step is ~lr in the gradient
+        # direction regardless of the gradient magnitude.
+        x = Tensor(np.array([100.0]), requires_grad=True)
+        optimizer = Adam([x], lr=0.01)
+        (x * 3.0).sum().backward()
+        optimizer.step()
+        assert x.data[0] == pytest.approx(100.0 - 0.01, abs=1e-6)
+
+    def test_invalid_betas(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        with pytest.raises(ValueError):
+            Adam([x], lr=0.01, betas=(1.5, 0.9))
+
+    def test_state_is_per_parameter(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        b = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = Adam([a, b], lr=0.01)
+        (a * 1.0).sum().backward()
+        optimizer.step()
+        # Only ``a`` should have moved.
+        assert a.data[0] != 1.0
+        assert b.data[0] == 1.0
+
+    def test_weight_decay(self):
+        x = Tensor(np.array([5.0]), requires_grad=True)
+        optimizer = Adam([x], lr=0.1, weight_decay=0.1)
+        (x * 0.0).sum().backward()
+        optimizer.step()
+        assert x.data[0] < 5.0
+
+
+class TestSchedulers:
+    def _optimizer(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        return Adam([x], lr=0.1)
+
+    def test_constant(self):
+        optimizer = self._optimizer()
+        scheduler = ConstantLR(optimizer)
+        for _ in range(5):
+            assert scheduler.step() == pytest.approx(0.1)
+
+    def test_step_lr(self):
+        optimizer = self._optimizer()
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        rates = [scheduler.step() for _ in range(4)]
+        assert rates == pytest.approx([0.1, 0.05, 0.05, 0.025])
+
+    def test_step_lr_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(self._optimizer(), step_size=0)
+
+    def test_exponential_lr(self):
+        optimizer = self._optimizer()
+        scheduler = ExponentialLR(optimizer, gamma=0.9)
+        assert scheduler.step() == pytest.approx(0.09)
+        assert scheduler.step() == pytest.approx(0.081)

@@ -1,0 +1,207 @@
+"""Tests for the upload privacy mechanisms and the Top Guess Attack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ClientUpload,
+    TopGuessAttack,
+    apply_defense,
+    laplace_perturbation,
+    sample_upload_items,
+    swap_positive_scores,
+)
+
+
+class TestSampling:
+    def test_beta_controls_positive_count(self, rng):
+        positives = np.arange(20)
+        negatives = np.arange(20, 100)
+        selected_pos, _ = sample_upload_items(positives, negatives, beta=0.5, gamma=1.0, rng=rng)
+        assert selected_pos.size == 10
+
+    def test_gamma_controls_negative_ratio(self, rng):
+        positives = np.arange(10)
+        negatives = np.arange(10, 100)
+        selected_pos, selected_neg = sample_upload_items(
+            positives, negatives, beta=1.0, gamma=3.0, rng=rng
+        )
+        assert selected_neg.size == 3 * selected_pos.size
+
+    def test_at_least_one_positive_kept(self, rng):
+        selected_pos, _ = sample_upload_items(
+            np.arange(5), np.arange(5, 30), beta=0.1, gamma=1.0, rng=rng
+        )
+        assert selected_pos.size >= 1
+
+    def test_negatives_capped_by_pool(self, rng):
+        _, selected_neg = sample_upload_items(
+            np.arange(10), np.arange(10, 15), beta=1.0, gamma=4.0, rng=rng
+        )
+        assert selected_neg.size == 5
+
+    def test_selected_items_come_from_pools(self, rng):
+        positives = np.arange(8)
+        negatives = np.arange(50, 80)
+        selected_pos, selected_neg = sample_upload_items(positives, negatives, 0.5, 2.0, rng)
+        assert set(selected_pos.tolist()) <= set(positives.tolist())
+        assert set(selected_neg.tolist()) <= set(negatives.tolist())
+
+    def test_invalid_beta_gamma(self, rng):
+        with pytest.raises(ValueError):
+            sample_upload_items(np.arange(3), np.arange(3, 6), beta=0.0, gamma=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            sample_upload_items(np.arange(3), np.arange(3, 6), beta=0.5, gamma=0.0, rng=rng)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=0.1, max_value=1.0),
+        st.floats(min_value=1.0, max_value=4.0),
+    )
+    def test_property_no_duplicates_in_selection(self, beta, gamma):
+        rng = np.random.default_rng(0)
+        positives = np.arange(15)
+        negatives = np.arange(15, 90)
+        selected_pos, selected_neg = sample_upload_items(positives, negatives, beta, gamma, rng)
+        assert len(set(selected_pos.tolist())) == selected_pos.size
+        assert len(set(selected_neg.tolist())) == selected_neg.size
+
+
+class TestSwapping:
+    def test_swapping_preserves_multiset_of_scores(self, rng):
+        scores = np.array([0.9, 0.8, 0.7, 0.2, 0.1, 0.05])
+        mask = np.array([True, True, True, False, False, False])
+        swapped = swap_positive_scores(scores, mask, swap_rate=0.5, rng=rng)
+        np.testing.assert_allclose(np.sort(swapped), np.sort(scores))
+
+    def test_swapping_moves_top_positive_scores(self, rng):
+        scores = np.array([0.95, 0.9, 0.85, 0.1, 0.1, 0.1])
+        mask = np.array([True, True, True, False, False, False])
+        swapped = swap_positive_scores(scores, mask, swap_rate=1.0, rng=rng)
+        # After a full swap the positives carry the old negative scores.
+        assert np.all(swapped[:3] == 0.1)
+
+    def test_zero_rate_is_identity(self, rng):
+        scores = np.array([0.9, 0.1])
+        mask = np.array([True, False])
+        np.testing.assert_array_equal(
+            swap_positive_scores(scores, mask, 0.0, rng), scores
+        )
+
+    def test_input_not_modified(self, rng):
+        scores = np.array([0.9, 0.8, 0.1, 0.2])
+        original = scores.copy()
+        swap_positive_scores(scores, np.array([True, True, False, False]), 0.5, rng)
+        np.testing.assert_array_equal(scores, original)
+
+    def test_all_positive_upload_is_left_unchanged(self, rng):
+        scores = np.array([0.9, 0.8])
+        mask = np.array([True, True])
+        np.testing.assert_array_equal(swap_positive_scores(scores, mask, 0.5, rng), scores)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            swap_positive_scores(np.array([0.5]), np.array([True, False]), 0.1, rng)
+
+    def test_invalid_rate_rejected(self, rng):
+        with pytest.raises(ValueError):
+            swap_positive_scores(np.array([0.5]), np.array([True]), 1.5, rng)
+
+
+class TestLaplace:
+    def test_noise_changes_scores(self, rng):
+        scores = np.full(100, 0.5)
+        noisy = laplace_perturbation(scores, scale=0.2, rng=rng)
+        assert not np.allclose(noisy, scores)
+
+    def test_clipping_to_unit_interval(self, rng):
+        noisy = laplace_perturbation(np.array([0.0, 1.0] * 50), scale=1.0, rng=rng)
+        assert np.all((noisy >= 0.0) & (noisy <= 1.0))
+
+    def test_zero_scale_is_identity(self, rng):
+        scores = np.array([0.3, 0.6])
+        np.testing.assert_array_equal(laplace_perturbation(scores, 0.0, rng), scores)
+
+    def test_negative_scale_rejected(self, rng):
+        with pytest.raises(ValueError):
+            laplace_perturbation(np.array([0.5]), -0.1, rng)
+
+
+class TestApplyDefense:
+    def test_none_returns_copy(self, rng):
+        scores = np.array([0.4, 0.6])
+        result = apply_defense("none", scores, np.array([True, False]), 0.1, 0.2, rng)
+        np.testing.assert_array_equal(result, scores)
+        assert result is not scores
+
+    def test_sampling_mode_does_not_touch_scores(self, rng):
+        scores = np.array([0.4, 0.6])
+        result = apply_defense("sampling", scores, np.array([True, False]), 0.1, 0.2, rng)
+        np.testing.assert_array_equal(result, scores)
+
+    def test_ldp_adds_noise(self, rng):
+        scores = np.full(50, 0.5)
+        result = apply_defense("ldp", scores, np.zeros(50, dtype=bool), 0.1, 0.3, rng)
+        assert not np.allclose(result, scores)
+
+    def test_swapping_mode_swaps(self, rng):
+        scores = np.array([0.99, 0.98, 0.01, 0.02])
+        mask = np.array([True, True, False, False])
+        result = apply_defense("sampling+swapping", scores, mask, 1.0, 0.0, rng)
+        assert set(np.round(result, 6)) == set(np.round(scores, 6))
+        assert not np.array_equal(result, scores)
+
+
+def _upload(scores, positives, items=None, user_id=0):
+    items = items if items is not None else np.arange(len(scores))
+    return ClientUpload(user_id=user_id, items=items, scores=np.asarray(scores),
+                        true_positive_items=np.asarray(positives))
+
+
+class TestTopGuessAttack:
+    def test_attack_succeeds_on_unprotected_upload(self):
+        # Positives carry clearly higher scores; guessing the top 20% finds them.
+        scores = np.concatenate([np.full(4, 0.95), np.full(16, 0.05)])
+        upload = _upload(scores, positives=np.arange(4))
+        attack = TopGuessAttack(guess_ratio=0.2)
+        assert attack.audit_upload(upload) == pytest.approx(1.0)
+
+    def test_attack_degrades_after_swapping(self, rng):
+        scores = np.concatenate([np.full(4, 0.95), np.full(16, 0.05)])
+        mask = np.concatenate([np.ones(4, dtype=bool), np.zeros(16, dtype=bool)])
+        swapped = swap_positive_scores(scores, mask, swap_rate=0.5, rng=rng)
+        attack = TopGuessAttack(guess_ratio=0.2)
+        protected = attack.audit_upload(_upload(swapped, positives=np.arange(4)))
+        unprotected = attack.audit_upload(_upload(scores, positives=np.arange(4)))
+        assert protected < unprotected
+
+    def test_guess_count_follows_ratio(self):
+        upload = _upload(np.linspace(0, 1, 10), positives=[9])
+        attack = TopGuessAttack(guess_ratio=0.3)
+        assert attack.guess_positive_items(upload).size == 3
+
+    def test_empty_upload_handled(self):
+        upload = _upload(np.array([]), positives=np.array([]), items=np.array([]))
+        report = TopGuessAttack().audit_round([upload])
+        assert report.num_clients == 0
+        assert report.mean_f1 == 0.0
+
+    def test_audit_round_averages_clients(self):
+        good = _upload(np.array([0.9, 0.9, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1]),
+                       positives=[0, 1], user_id=0)
+        bad = _upload(np.array([0.1, 0.1, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9]),
+                      positives=[0, 1], user_id=1)
+        report = TopGuessAttack(guess_ratio=0.2).audit_round([good, bad])
+        assert report.num_clients == 2
+        assert 0.0 < report.mean_f1 < 1.0
+
+    def test_invalid_guess_ratio(self):
+        with pytest.raises(ValueError):
+            TopGuessAttack(guess_ratio=0.0)
+
+    def test_upload_validates_lengths(self):
+        with pytest.raises(ValueError):
+            ClientUpload(0, np.array([1, 2]), np.array([0.5]), np.array([1]))

@@ -1,0 +1,177 @@
+"""Backward-pass tests: finite-difference checks and hypothesis properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor import Tensor, check_gradients
+from repro.tensor import functional as F
+from repro.tensor.gradcheck import numerical_gradient
+
+
+def _param(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(0, 1, size=shape), requires_grad=True)
+
+
+class TestGradCheck:
+    def test_add_mul(self):
+        a = _param((3, 4), 1)
+        b = _param((3, 4), 2)
+        check_gradients(lambda: ((a + b) * a).sum(), [a, b])
+
+    def test_sub_div(self):
+        a = _param((2, 3), 3)
+        b = Tensor(np.random.default_rng(4).uniform(0.5, 2.0, (2, 3)), requires_grad=True)
+        check_gradients(lambda: (a / b - b).sum(), [a, b])
+
+    def test_matmul(self):
+        a = _param((3, 4), 5)
+        b = _param((4, 2), 6)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_broadcast_add_bias(self):
+        x = _param((5, 3), 7)
+        bias = _param((3,), 8)
+        check_gradients(lambda: ((x + bias) ** 2).sum(), [x, bias])
+
+    def test_sigmoid(self):
+        a = _param((4,), 9)
+        check_gradients(lambda: a.sigmoid().sum(), [a])
+
+    def test_relu(self):
+        a = Tensor(np.array([0.5, -0.7, 1.3, -2.0]), requires_grad=True)
+        check_gradients(lambda: (a.relu() * a).sum(), [a])
+
+    def test_tanh_exp_log(self):
+        a = Tensor(np.random.default_rng(10).uniform(0.2, 1.5, (3, 3)), requires_grad=True)
+        check_gradients(lambda: (a.tanh() + a.exp() + a.log()).sum(), [a])
+
+    def test_leaky_relu(self):
+        a = Tensor(np.array([-1.5, 0.3, 2.0]), requires_grad=True)
+        check_gradients(lambda: a.leaky_relu(0.2).sum(), [a])
+
+    def test_mean_and_axis_sum(self):
+        a = _param((4, 5), 11)
+        check_gradients(lambda: (a.mean(axis=1) * a.sum(axis=1)).sum(), [a])
+
+    def test_reshape_transpose(self):
+        a = _param((2, 6), 12)
+        check_gradients(lambda: (a.reshape(3, 4).T ** 2).sum(), [a])
+
+    def test_index_rows(self):
+        table = _param((6, 3), 13)
+        indices = np.array([0, 2, 2, 5])
+        check_gradients(lambda: (table.index_rows(indices) ** 2).sum(), [table])
+
+    def test_concat(self):
+        a = _param((2, 3), 14)
+        b = _param((2, 2), 15)
+        check_gradients(lambda: (Tensor.concat([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_sparse_matmul(self):
+        rng = np.random.default_rng(16)
+        dense = (rng.random((5, 5)) < 0.4) * rng.normal(0, 1, (5, 5))
+        adjacency = sp.csr_matrix(dense)
+        x = _param((5, 3), 17)
+        check_gradients(lambda: (x.sparse_matmul(adjacency) ** 2).sum(), [x])
+
+    def test_bce_loss(self):
+        logits = _param((6,), 18)
+        targets = np.random.default_rng(19).uniform(0, 1, 6)
+        check_gradients(lambda: F.binary_cross_entropy(logits.sigmoid(), targets), [logits])
+
+    def test_bpr_loss(self):
+        positive = _param((4,), 20)
+        negative = _param((4,), 21)
+        check_gradients(lambda: F.bpr_loss(positive, negative), [positive, negative])
+
+
+class TestBackwardMechanics:
+    def test_grad_accumulates_over_backward_calls(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 3).sum().backward()
+        first = a.grad.copy()
+        (a * 3).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * first)
+
+    def test_zero_grad_clears(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph_gradient(self):
+        # f(a) = (a*2) + (a*3); df/da = 5.
+        a = Tensor([1.0], requires_grad=True)
+        ((a * 2) + (a * 3)).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_reused_tensor_in_product(self):
+        # f(a) = a * a; df/da = 2a.
+        a = Tensor([3.0], requires_grad=True)
+        (a * a).sum().backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_gradient_flows_through_chain(self):
+        a = Tensor(np.array([[1.0, -2.0]]), requires_grad=True)
+        w = Tensor(np.array([[0.5], [0.25]]), requires_grad=True)
+        loss = ((a @ w).sigmoid() ** 2).sum()
+        loss.backward()
+        assert a.grad is not None and w.grad is not None
+        assert np.all(np.isfinite(a.grad)) and np.all(np.isfinite(w.grad))
+
+    def test_constant_branch_receives_no_gradient(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        constant = Tensor([5.0, 5.0])
+        (a * constant).sum().backward()
+        assert constant.grad is None
+
+    def test_numerical_gradient_helper_matches_simple_case(self):
+        a = Tensor([2.0], requires_grad=True)
+        numeric = numerical_gradient(lambda: (a * a).sum(), a)
+        np.testing.assert_allclose(numeric, [4.0], atol=1e-5)
+
+    def test_check_gradients_detects_mismatch(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+
+        def wrong_loss():
+            # Build a loss whose recorded backward is deliberately broken by
+            # detaching, so the analytic gradient (zero) disagrees with the
+            # numerical one.
+            return (a.detach() * a.detach()).sum() + (a * 0.0).sum()
+
+        with pytest.raises(AssertionError):
+            check_gradients(wrong_loss, [a])
+
+
+class TestGradientProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-3, 3), min_size=2, max_size=6))
+    def test_sigmoid_gradient_bounded(self, values):
+        a = Tensor(np.array(values), requires_grad=True)
+        a.sigmoid().sum().backward()
+        # d sigmoid/dx = s(1-s) has maximum 0.25.
+        assert np.all(np.abs(a.grad) <= 0.25 + 1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-5, 5), min_size=1, max_size=8))
+    def test_sum_gradient_is_ones(self, values):
+        a = Tensor(np.array(values), requires_grad=True)
+        a.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(len(values)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_matmul_gradient_shapes(self, rows, cols):
+        a = Tensor(np.random.default_rng(0).normal(size=(rows, cols)), requires_grad=True)
+        b = Tensor(np.random.default_rng(1).normal(size=(cols, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (rows, cols)
+        assert b.grad.shape == (cols, 2)

@@ -1,0 +1,245 @@
+"""Unit tests for the autograd engine's forward operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional as F
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        tensor = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert tensor.shape == (2, 2)
+        assert tensor.size == 4
+        assert not tensor.requires_grad
+
+    def test_construction_preserves_values(self):
+        data = np.arange(6, dtype=np.float64).reshape(2, 3)
+        tensor = Tensor(data)
+        np.testing.assert_array_equal(tensor.numpy(), data)
+
+    def test_zeros_and_ones(self):
+        assert np.all(Tensor.zeros((3, 2)).numpy() == 0.0)
+        assert np.all(Tensor.ones((2, 2)).numpy() == 1.0)
+
+    def test_randn_uses_rng(self):
+        rng1 = np.random.default_rng(0)
+        rng2 = np.random.default_rng(0)
+        a = Tensor.randn((4, 4), rng=rng1)
+        b = Tensor.randn((4, 4), rng=rng2)
+        np.testing.assert_array_equal(a.numpy(), b.numpy())
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_detach_breaks_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert b._backward is None
+        assert not b.requires_grad
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_len(self):
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+
+class TestArithmetic:
+    def test_add(self):
+        result = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(result.numpy(), [4.0, 6.0])
+
+    def test_add_scalar_broadcast(self):
+        result = Tensor([1.0, 2.0]) + 1.0
+        np.testing.assert_allclose(result.numpy(), [2.0, 3.0])
+
+    def test_radd(self):
+        result = 1.0 + Tensor([1.0, 2.0])
+        np.testing.assert_allclose(result.numpy(), [2.0, 3.0])
+
+    def test_sub(self):
+        result = Tensor([3.0, 5.0]) - Tensor([1.0, 2.0])
+        np.testing.assert_allclose(result.numpy(), [2.0, 3.0])
+
+    def test_rsub(self):
+        result = 10.0 - Tensor([1.0, 2.0])
+        np.testing.assert_allclose(result.numpy(), [9.0, 8.0])
+
+    def test_mul(self):
+        result = Tensor([2.0, 3.0]) * Tensor([4.0, 5.0])
+        np.testing.assert_allclose(result.numpy(), [8.0, 15.0])
+
+    def test_div(self):
+        result = Tensor([8.0, 9.0]) / Tensor([2.0, 3.0])
+        np.testing.assert_allclose(result.numpy(), [4.0, 3.0])
+
+    def test_rdiv(self):
+        result = 12.0 / Tensor([3.0, 4.0])
+        np.testing.assert_allclose(result.numpy(), [4.0, 3.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).numpy(), [-1.0, 2.0])
+
+    def test_pow(self):
+        np.testing.assert_allclose((Tensor([2.0, 3.0]) ** 2).numpy(), [4.0, 9.0])
+
+    def test_matmul(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[5.0], [6.0]])
+        np.testing.assert_allclose((a @ b).numpy(), [[17.0], [39.0]])
+
+    def test_transpose(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose(a.T.numpy(), [[1.0, 3.0], [2.0, 4.0]])
+
+    def test_reshape(self):
+        a = Tensor(np.arange(6.0))
+        assert a.reshape(2, 3).shape == (2, 3)
+        assert a.reshape((3, 2)).shape == (3, 2)
+
+
+class TestReductionsAndNonlinearities:
+    def test_sum_all(self):
+        assert Tensor([[1.0, 2.0], [3.0, 4.0]]).sum().item() == pytest.approx(10.0)
+
+    def test_sum_axis(self):
+        result = Tensor([[1.0, 2.0], [3.0, 4.0]]).sum(axis=0)
+        np.testing.assert_allclose(result.numpy(), [4.0, 6.0])
+
+    def test_mean(self):
+        assert Tensor([1.0, 2.0, 3.0]).mean().item() == pytest.approx(2.0)
+
+    def test_mean_axis(self):
+        result = Tensor([[1.0, 3.0], [2.0, 4.0]]).mean(axis=1)
+        np.testing.assert_allclose(result.numpy(), [2.0, 3.0])
+
+    def test_exp_log_roundtrip(self):
+        values = np.array([0.5, 1.0, 2.0])
+        roundtrip = Tensor(values).log().exp()
+        np.testing.assert_allclose(roundtrip.numpy(), values)
+
+    def test_sigmoid_range(self):
+        scores = Tensor(np.linspace(-10, 10, 21)).sigmoid().numpy()
+        assert np.all(scores > 0.0) and np.all(scores < 1.0)
+        assert scores[0] < 0.01 and scores[-1] > 0.99
+
+    def test_sigmoid_extreme_values_do_not_overflow(self):
+        scores = Tensor(np.array([-1e6, 1e6])).sigmoid().numpy()
+        assert np.all(np.isfinite(scores))
+
+    def test_relu(self):
+        np.testing.assert_allclose(
+            Tensor([-1.0, 0.0, 2.0]).relu().numpy(), [0.0, 0.0, 2.0]
+        )
+
+    def test_tanh(self):
+        np.testing.assert_allclose(Tensor([0.0]).tanh().numpy(), [0.0])
+
+    def test_leaky_relu(self):
+        np.testing.assert_allclose(
+            Tensor([-1.0, 2.0]).leaky_relu(0.1).numpy(), [-0.1, 2.0]
+        )
+
+    def test_clip(self):
+        np.testing.assert_allclose(
+            Tensor([-1.0, 0.5, 2.0]).clip(0.0, 1.0).numpy(), [0.0, 0.5, 1.0]
+        )
+
+
+class TestIndexingAndCombinators:
+    def test_index_rows(self):
+        table = Tensor(np.arange(12.0).reshape(4, 3))
+        rows = table.index_rows(np.array([1, 3]))
+        np.testing.assert_allclose(rows.numpy(), [[3.0, 4.0, 5.0], [9.0, 10.0, 11.0]])
+
+    def test_index_rows_repeats(self):
+        table = Tensor(np.arange(6.0).reshape(3, 2))
+        rows = table.index_rows(np.array([0, 0, 2]))
+        assert rows.shape == (3, 2)
+
+    def test_getitem(self):
+        tensor = Tensor(np.arange(5.0))
+        np.testing.assert_allclose(tensor[np.array([0, 2])].numpy(), [0.0, 2.0])
+
+    def test_concat_axis1(self):
+        a = Tensor(np.ones((2, 2)))
+        b = Tensor(np.zeros((2, 3)))
+        assert Tensor.concat([a, b], axis=1).shape == (2, 5)
+
+    def test_stack(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor([3.0, 4.0])
+        assert Tensor.stack([a, b], axis=0).shape == (2, 2)
+
+    def test_sparse_matmul_matches_dense(self):
+        dense = np.array([[0.0, 1.0], [2.0, 0.0]])
+        sparse = sp.csr_matrix(dense)
+        x = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        np.testing.assert_allclose(x.sparse_matmul(sparse).numpy(), dense @ x.numpy())
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with no_grad():
+            b = a * 2
+        assert b._backward is None
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_backward_requires_scalar(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+
+class TestFunctional:
+    def test_bce_perfect_prediction_is_small(self):
+        targets = np.array([1.0, 0.0])
+        loss = F.binary_cross_entropy(Tensor([0.999999, 0.000001]), targets)
+        assert loss.item() < 1e-4
+
+    def test_bce_wrong_prediction_is_large(self):
+        targets = np.array([1.0, 0.0])
+        loss = F.binary_cross_entropy(Tensor([0.01, 0.99]), targets)
+        assert loss.item() > 2.0
+
+    def test_bce_supports_soft_targets(self):
+        loss = F.binary_cross_entropy(Tensor([0.3, 0.7]), np.array([0.3, 0.7]))
+        uniform = F.binary_cross_entropy(Tensor([0.5, 0.5]), np.array([0.3, 0.7]))
+        assert loss.item() < uniform.item()
+
+    def test_bce_with_logits_matches_probability_path(self):
+        logits = Tensor(np.array([0.4, -1.2]))
+        targets = np.array([1.0, 0.0])
+        from_logits = F.binary_cross_entropy_with_logits(logits, targets)
+        from_probs = F.binary_cross_entropy(logits.sigmoid(), targets)
+        assert from_logits.item() == pytest.approx(from_probs.item())
+
+    def test_bpr_prefers_positive_above_negative(self):
+        good = F.bpr_loss(Tensor([5.0]), Tensor([-5.0]))
+        bad = F.bpr_loss(Tensor([-5.0]), Tensor([5.0]))
+        assert good.item() < bad.item()
+
+    def test_l2_regularization_value(self):
+        value = F.l2_regularization([Tensor([1.0, 2.0]), Tensor([3.0])], weight=0.1)
+        assert value.item() == pytest.approx(0.1 * (1 + 4 + 9))
+
+    def test_l2_regularization_empty(self):
+        assert F.l2_regularization([], weight=0.1).item() == 0.0
+
+    def test_mse_loss(self):
+        assert F.mse_loss(Tensor([1.0, 3.0]), np.array([1.0, 1.0])).item() == pytest.approx(2.0)

@@ -1,0 +1,70 @@
+"""Tests for RNG management, logging and timing utilities."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+
+from repro.utils import RngFactory, Timer, get_logger, seeded_rng
+
+
+class TestRngFactory:
+    def test_same_seed_same_stream(self):
+        a = RngFactory(7).spawn("component")
+        b = RngFactory(7).spawn("component")
+        np.testing.assert_array_equal(a.random(5), b.random(5))
+
+    def test_different_names_give_different_streams(self):
+        factory = RngFactory(7)
+        a = factory.spawn("alpha").random(5)
+        b = factory.spawn("beta").random(5)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_give_different_streams(self):
+        a = RngFactory(1).spawn("x").random(5)
+        b = RngFactory(2).spawn("x").random(5)
+        assert not np.allclose(a, b)
+
+    def test_indexed_spawning_is_deterministic(self):
+        a = RngFactory(3).spawn_indexed("client", 42).random(3)
+        b = RngFactory(3).spawn_indexed("client", 42).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_indexed_spawning_varies_with_index(self):
+        factory = RngFactory(3)
+        a = factory.spawn_indexed("client", 1).random(3)
+        b = factory.spawn_indexed("client", 2).random(3)
+        assert not np.allclose(a, b)
+
+    def test_adding_components_does_not_perturb_existing_streams(self):
+        # The stream for one name must not depend on whether other names
+        # were spawned before it.
+        lone = RngFactory(11).spawn("target").random(4)
+        factory = RngFactory(11)
+        factory.spawn("other-a")
+        factory.spawn("other-b")
+        np.testing.assert_array_equal(factory.spawn("target").random(4), lone)
+
+    def test_seeded_rng_reproducible(self):
+        np.testing.assert_array_equal(seeded_rng(5).random(3), seeded_rng(5).random(3))
+
+
+class TestLoggingAndTimer:
+    def test_get_logger_is_singleton_per_name(self):
+        assert get_logger("repro-test") is get_logger("repro-test")
+
+    def test_get_logger_has_single_handler(self):
+        logger = get_logger("repro-test-handlers")
+        get_logger("repro-test-handlers")
+        assert len(logger.handlers) == 1
+
+    def test_logger_level(self):
+        logger = get_logger("repro-test-level", level=logging.WARNING)
+        assert logger.level == logging.WARNING
+
+    def test_timer_measures_elapsed_time(self):
+        with Timer() as timer:
+            total = sum(range(10000))
+        assert total > 0
+        assert timer.elapsed >= 0.0
