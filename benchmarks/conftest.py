@@ -8,6 +8,12 @@ roughly what factor, where the trends bend — is the reproduction target;
 absolute values are recorded against the paper's numbers in
 EXPERIMENTS.md.
 
+The harness is built on the unified experiment API: every paradigm is
+described by a :class:`repro.ExperimentSpec` (``mini_spec`` applies the
+mini-scale defaults) and dispatched through the trainer registry, so the
+same helper drives PTF-FedRec, the parameter-transmission baselines and
+centralized training.
+
 All experiment work runs exactly once per benchmark via
 ``benchmark.pedantic(..., rounds=1, iterations=1)``; the printed tables are
 the real deliverable, the timing is incidental.
@@ -15,16 +21,13 @@ the real deliverable, the timing is incidental.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 import pytest
 
-from repro.centralized import CentralizedConfig, CentralizedTrainer
-from repro.core import PTFConfig, PTFFedRec
 from repro.data import MINI_SPECS, InteractionDataset, generate_dataset
-from repro.eval import RankingEvaluator
-from repro.federated import FCF, FederatedConfig, FedMF, MetaMF
-from repro.models import create_model
+from repro.experiments import ExperimentSpec, create_trainer, run
+from repro.federated import FederatedConfig
 from repro.utils import RngFactory
 
 #: Evaluation depth used throughout (the paper reports Recall@20 / NDCG@20).
@@ -50,15 +53,16 @@ def build_dataset(name: str, seed: int = SEED) -> InteractionDataset:
     return generate_dataset(spec, rng=RngFactory(seed).spawn(f"dataset-{name}"))
 
 
-def mini_ptf_config(**overrides) -> PTFConfig:
-    """PTF-FedRec configuration adapted to the miniature datasets.
+def mini_spec(trainer: str = "ptf", **overrides) -> ExperimentSpec:
+    """An :class:`ExperimentSpec` adapted to the miniature datasets.
 
     The paper's full-scale settings (batch 1024, learning rate 0.001, 20
     rounds) assume ~100k uploaded predictions per round; at mini scale the
     server would only take a handful of optimizer steps, so the benchmarks
     shrink the server batch and raise the learning rate while keeping every
     protocol-level hyper-parameter (α, β, γ, λ, µ, negative ratio) at the
-    paper's values.
+    paper's values.  ``overrides`` are flat field names (``alpha=50``,
+    ``dispersal_mode="random"``), exactly like the old config kwargs.
     """
     defaults = dict(
         rounds=10,
@@ -71,14 +75,21 @@ def mini_ptf_config(**overrides) -> PTFConfig:
         client_mlp_layers=(32, 16, 8),
         server_num_layers=3,
         alpha=30,
+        k=TOP_K,
         seed=SEED,
     )
     defaults.update(overrides)
-    return PTFConfig(**defaults)
+    seed = defaults.pop("seed")
+    return ExperimentSpec.from_flat(trainer=trainer, seed=seed, **defaults)
+
+
+def mini_ptf_config(**overrides) -> ExperimentSpec:
+    """Mini-scale PTF-FedRec spec (accepted anywhere PTFConfig used to be)."""
+    return mini_spec("ptf", **overrides)
 
 
 def mini_federated_config(**overrides) -> FederatedConfig:
-    """Configuration for the parameter-transmission baselines at mini scale."""
+    """Configuration for directly constructed parameter-transmission baselines."""
     defaults = dict(
         rounds=10,
         local_epochs=2,
@@ -91,19 +102,6 @@ def mini_federated_config(**overrides) -> FederatedConfig:
     return FederatedConfig(**defaults)
 
 
-def mini_centralized_config(**overrides) -> CentralizedConfig:
-    """Configuration for centralized training at mini scale."""
-    defaults = dict(
-        epochs=30,
-        batch_size=256,
-        learning_rate=0.01,
-        negative_ratio=4,
-        seed=SEED,
-    )
-    defaults.update(overrides)
-    return CentralizedConfig(**defaults)
-
-
 # ----------------------------------------------------------------------
 # Experiment runners shared by several benchmarks
 # ----------------------------------------------------------------------
@@ -111,45 +109,46 @@ def mini_centralized_config(**overrides) -> CentralizedConfig:
 #: a little L2 to avoid overfitting the tiny datasets, while LightGCN (no
 #: transformation weights) trains longer without weight decay.
 _CENTRALIZED_OVERRIDES = {
-    "neumf": {"epochs": 30, "l2_weight": 5e-4},
-    "ngcf": {"epochs": 30, "l2_weight": 5e-4},
-    "lightgcn": {"epochs": 60, "l2_weight": 0.0},
-    "mf": {"epochs": 30, "l2_weight": 0.0},
+    "neumf": {"rounds": 30, "l2_weight": 5e-4},
+    "ngcf": {"rounds": 30, "l2_weight": 5e-4},
+    "lightgcn": {"rounds": 60, "l2_weight": 0.0},
+    "mf": {"rounds": 30, "l2_weight": 0.0},
 }
 
 
 def run_centralized(dataset: InteractionDataset, model_name: str) -> Dict[str, float]:
     """Train a centralized model and return Recall@20 / NDCG@20."""
-    model = create_model(
-        model_name,
-        dataset.num_users,
-        dataset.num_items,
-        embedding_dim=16,
-        rng=RngFactory(SEED).spawn(f"centralized-{model_name}-{dataset.name}"),
+    overrides = dict(
+        rounds=30,
+        server_batch_size=256,
+        client_mlp_layers=(64, 32, 16),
     )
-    overrides = _CENTRALIZED_OVERRIDES.get(model_name.lower(), {})
-    trainer = CentralizedTrainer(model, dataset, mini_centralized_config(**overrides))
-    trainer.fit()
-    result = trainer.evaluate(k=TOP_K)
-    return {"Recall@20": result.recall, "NDCG@20": result.ndcg}
+    overrides.update(_CENTRALIZED_OVERRIDES.get(model_name.lower(), {}))
+    spec = mini_spec("centralized", server_model=model_name, **overrides)
+    result = run(spec, dataset)
+    return {"Recall@20": result.final.recall, "NDCG@20": result.final.ndcg}
 
 
 def run_federated_baseline(dataset: InteractionDataset, name: str):
     """Train one parameter-transmission baseline; returns (metrics, system)."""
-    factories = {"FCF": FCF, "FedMF": FedMF, "MetaMF": MetaMF}
-    system = factories[name](dataset, mini_federated_config())
-    system.fit()
-    result = system.evaluate(k=TOP_K)
-    return {"Recall@20": result.recall, "NDCG@20": result.ndcg}, system
+    spec = mini_spec(
+        name.lower(),
+        client_local_epochs=2,
+        local_learning_rate=0.05,
+    )
+    trainer = create_trainer(spec, dataset)
+    trainer.fit()
+    result = trainer.evaluate(k=TOP_K)
+    return {"Recall@20": result.recall, "NDCG@20": result.ndcg}, trainer.system
 
 
-def run_ptf(dataset: InteractionDataset, server_model: str, **config_overrides):
+def run_ptf(dataset: InteractionDataset, server_model: str, **spec_overrides):
     """Train PTF-FedRec with the given server model; returns (metrics, system)."""
-    config = mini_ptf_config(server_model=server_model, **config_overrides)
-    system = PTFFedRec(dataset, config)
-    system.fit()
-    result = system.evaluate(k=TOP_K)
-    return {"Recall@20": result.recall, "NDCG@20": result.ndcg}, system
+    spec = mini_spec("ptf", server_model=server_model, **spec_overrides)
+    trainer = create_trainer(spec, dataset)
+    trainer.fit()
+    result = trainer.evaluate(k=TOP_K)
+    return {"Recall@20": result.recall, "NDCG@20": result.ndcg}, trainer.system
 
 
 # ----------------------------------------------------------------------

@@ -5,47 +5,49 @@ service provider's intellectual property, so the provider wants to improve
 and swap its model freely *without ever shipping it to clients*.  In
 PTF-FedRec the clients only ever see prediction scores, so the provider can
 trial different hidden architectures (NeuMF, NGCF, LightGCN) against the
-same fleet of client devices and pick the best one — exactly what this
-script does.
+same fleet of client devices and pick the best one — here, one
+``spec.replace(server_model=...)`` per candidate.  The hidden parameter
+count comes from the trainer adapter's underlying system, which the
+registry exposes for exactly this kind of inspection.
 
 Run with::
 
-    python examples/model_marketplace.py
+    PYTHONPATH=src python examples/model_marketplace.py
 """
 
 from __future__ import annotations
 
-from repro.core import PTFConfig, PTFFedRec
+import repro
 from repro.data import movielens_100k
+from repro.experiments import create_trainer
 from repro.utils import RngFactory
 
 CANDIDATE_SERVER_MODELS = ("neumf", "ngcf", "lightgcn")
 SEED = 21
 
+BASE_SPEC = repro.ExperimentSpec(
+    trainer="ptf",
+    seed=SEED,
+    model={"client_model": "neumf",   # the public, on-device model never changes
+           "embedding_dim": 16, "client_mlp_layers": (32, 16, 8)},
+    protocol={"rounds": 10, "client_local_epochs": 3, "server_epochs": 3,
+              "server_batch_size": 128, "learning_rate": 0.01},
+    evaluation={"k": 20},
+)
+
 
 def trial(dataset, server_model: str) -> dict:
-    config = PTFConfig(
-        server_model=server_model,
-        client_model="neumf",        # the public, on-device model never changes
-        rounds=10,
-        client_local_epochs=3,
-        server_epochs=3,
-        server_batch_size=128,
-        learning_rate=0.01,
-        embedding_dim=16,
-        client_mlp_layers=(32, 16, 8),
-        seed=SEED,
-    )
-    system = PTFFedRec(dataset, config)
-    system.fit()
-    result = system.evaluate(k=20)
-    server_params = sum(p.size for p in system.server.model.parameters())
+    spec = BASE_SPEC.replace(server_model=server_model)
+    trainer = create_trainer(spec, dataset)
+    trainer.fit()
+    result = trainer.evaluate()
+    server_params = sum(p.size for p in trainer.system.server.model.parameters())
     return {
         "server_model": server_model.upper(),
         "recall": result.recall,
         "ndcg": result.ndcg,
         "hidden_parameters": server_params,
-        "kb_per_round": system.average_client_round_kilobytes(),
+        "kb_per_round": trainer.communication_summary().average_client_round_kilobytes,
     }
 
 

@@ -1,86 +1,81 @@
-"""Movie recommendation scenario: centralized vs federated vs PTF-FedRec.
+"""Movie recommendation scenario: every paradigm through one entry point.
 
 Reproduces the spirit of the paper's Table III on a small MovieLens-like
 dataset: how much ranking quality does each training regime deliver, and
-what does it cost in communication?
+what does it cost in communication?  Because every paradigm is registered
+in the trainer registry, the whole comparison is a single loop over
+trainer names — the spec and the result schema are identical for all of
+them.
 
-* Centralized NGCF — the ceiling: one party sees all raw data.
-* FCF / FedMF / MetaMF — traditional parameter-transmission FedRecs: raw
-  data stays on devices but the model (and megabytes of parameters per
-  round) are exposed to every participant.
-* PTF-FedRec(NGCF) — the paper's framework: raw data stays on devices AND
-  the server model stays hidden; only kilobytes of predictions move.
+* ``centralized`` NGCF — the ceiling: one party sees all raw data.
+* ``fcf`` / ``fedmf`` / ``metamf`` — traditional parameter-transmission
+  FedRecs: raw data stays on devices but the model (and megabytes of
+  parameters per round) are exposed to every participant.
+* ``ptf`` (NGCF server) — the paper's framework: raw data stays on devices
+  AND the server model stays hidden; only kilobytes of predictions move.
 
 Run with::
 
-    python examples/movie_recommendation.py
+    PYTHONPATH=src python examples/movie_recommendation.py
 """
 
 from __future__ import annotations
 
-from repro.centralized import CentralizedConfig, CentralizedTrainer
-from repro.core import PTFConfig, PTFFedRec
+import repro
 from repro.data import movielens_100k
-from repro.federated import FCF, FederatedConfig, FedMF, MetaMF
-from repro.models import create_model
 from repro.utils import RngFactory
 
 TOP_K = 20
 SEED = 7
 
+LABELS = {
+    "centralized": "Centralized NGCF",
+    "fcf": "FCF",
+    "fedmf": "FedMF",
+    "metamf": "MetaMF",
+    "ptf": "PTF-FedRec(NGCF)",
+}
+EXPOSURE = {
+    "centralized": "n/a (no federation)",
+    "fcf": "yes (parameters shipped to clients)",
+    "fedmf": "yes (parameters shipped to clients)",
+    "metamf": "yes (parameters shipped to clients)",
+    "ptf": "no (predictions only)",
+}
 
-def evaluate_centralized(dataset) -> dict:
-    model = create_model("ngcf", dataset.num_users, dataset.num_items,
-                         embedding_dim=16, rng=RngFactory(SEED).spawn("central"))
-    trainer = CentralizedTrainer(
-        model, dataset,
-        CentralizedConfig(epochs=30, batch_size=256, learning_rate=0.01,
-                          l2_weight=5e-4, seed=SEED),
+
+def spec_for(trainer: str) -> repro.ExperimentSpec:
+    """One spec per paradigm; only the round structure differs at mini scale."""
+    spec = repro.ExperimentSpec(
+        trainer=trainer,
+        seed=SEED,
+        model={"server_model": "ngcf", "embedding_dim": 16,
+               "client_mlp_layers": (32, 16, 8)},
+        protocol={"rounds": 10, "client_local_epochs": 3, "server_epochs": 3,
+                  "server_batch_size": 128, "learning_rate": 0.01},
+        evaluation={"k": TOP_K},
     )
-    trainer.fit()
-    result = trainer.evaluate(k=TOP_K)
-    return {"method": "Centralized NGCF", "recall": result.recall, "ndcg": result.ndcg,
-            "kb_per_round": 0.0, "model_exposed": "n/a (no federation)"}
-
-
-def evaluate_baseline(dataset, name) -> dict:
-    factories = {"FCF": FCF, "FedMF": FedMF, "MetaMF": MetaMF}
-    system = factories[name](dataset, FederatedConfig(rounds=10, local_epochs=2,
-                                                      embedding_dim=16, seed=SEED))
-    system.fit()
-    result = system.evaluate(k=TOP_K)
-    return {"method": name, "recall": result.recall, "ndcg": result.ndcg,
-            "kb_per_round": system.average_client_round_kilobytes(),
-            "model_exposed": "yes (parameters shipped to clients)"}
-
-
-def evaluate_ptf(dataset) -> dict:
-    config = PTFConfig(server_model="ngcf", rounds=10, client_local_epochs=3,
-                       server_epochs=3, server_batch_size=128, learning_rate=0.01,
-                       embedding_dim=16, client_mlp_layers=(32, 16, 8), seed=SEED)
-    system = PTFFedRec(dataset, config)
-    system.fit()
-    result = system.evaluate(k=TOP_K)
-    return {"method": "PTF-FedRec(NGCF)", "recall": result.recall, "ndcg": result.ndcg,
-            "kb_per_round": system.average_client_round_kilobytes(),
-            "model_exposed": "no (predictions only)"}
+    if trainer == "centralized":
+        # 30 epochs with a little L2, matching the centralized baselines.
+        return spec.replace(rounds=30, server_batch_size=256, l2_weight=5e-4)
+    if trainer in ("fcf", "fedmf", "metamf"):
+        return spec.replace(client_local_epochs=2)
+    return spec
 
 
 def main() -> None:
     dataset = movielens_100k(RngFactory(SEED).spawn("dataset"), scale=0.1)
     print(f"Dataset: {dataset}\n")
 
-    rows = [evaluate_centralized(dataset)]
-    for name in ("FCF", "FedMF", "MetaMF"):
-        rows.append(evaluate_baseline(dataset, name))
-    rows.append(evaluate_ptf(dataset))
-
-    header = f"{'Method':<20} {'Recall@20':>10} {'NDCG@20':>10} {'KB/client/round':>16}  Server model exposed?"
+    header = (f"{'Method':<20} {'Recall@20':>10} {'NDCG@20':>10} "
+              f"{'KB/client/round':>16}  Server model exposed?")
     print(header)
     print("-" * len(header))
-    for row in rows:
-        print(f"{row['method']:<20} {row['recall']:>10.4f} {row['ndcg']:>10.4f} "
-              f"{row['kb_per_round']:>16.2f}  {row['model_exposed']}")
+    for trainer in ("centralized", "fcf", "fedmf", "metamf", "ptf"):
+        result = repro.run(spec_for(trainer), dataset)
+        kb = result.communication.average_client_round_kilobytes
+        print(f"{LABELS[trainer]:<20} {result.final.recall:>10.4f} "
+              f"{result.final.ndcg:>10.4f} {kb:>16.2f}  {EXPOSURE[trainer]}")
 
     print("\nTakeaway: PTF-FedRec approaches the centralized ceiling while its")
     print("communication stays in the kilobyte range and the server model never")

@@ -10,17 +10,18 @@ positives) under four defenses:
 * sampling (random β fraction of positives, random γ negative ratio),
 * sampling + swapping (the paper's full mechanism).
 
-For each defense the script reports the attack's F1 and the server model's
-NDCG@20, i.e. the privacy/utility trade-off.
+Each defense is one flat override on a shared :class:`repro.ExperimentSpec`;
+:func:`repro.run` returns the attack F1 (``result.privacy``) next to the
+ranking metrics (``result.final``), i.e. the privacy/utility trade-off.
 
 Run with::
 
-    python examples/privacy_audit.py
+    PYTHONPATH=src python examples/privacy_audit.py
 """
 
 from __future__ import annotations
 
-from repro.core import PTFConfig, PTFFedRec
+import repro
 from repro.data import movielens_100k
 from repro.utils import RngFactory
 
@@ -32,25 +33,24 @@ LABELS = {
     "sampling+swapping": "Sampling + Swapping",
 }
 
+BASE_SPEC = repro.ExperimentSpec(
+    trainer="ptf",
+    seed=13,
+    model={"server_model": "ngcf", "embedding_dim": 16, "client_mlp_layers": (32, 16, 8)},
+    protocol={"rounds": 6, "client_local_epochs": 3, "server_epochs": 3,
+              "server_batch_size": 128, "learning_rate": 0.01},
+    privacy={"audit_guess_ratio": 0.2},
+    evaluation={"k": 20},
+)
+
 
 def run_defense(dataset, defense: str) -> dict:
-    config = PTFConfig(
-        server_model="ngcf",
-        defense=defense,
-        rounds=6,
-        client_local_epochs=3,
-        server_epochs=3,
-        server_batch_size=128,
-        learning_rate=0.01,
-        embedding_dim=16,
-        client_mlp_layers=(32, 16, 8),
-        seed=13,
-    )
-    system = PTFFedRec(dataset, config)
-    system.fit()
-    ranking = system.evaluate(k=20)
-    attack = system.audit_privacy(guess_ratio=0.2)
-    return {"f1": attack.mean_f1, "ndcg": ranking.ndcg, "clients": attack.num_clients}
+    result = repro.run(BASE_SPEC.replace(defense=defense), dataset)
+    return {
+        "f1": result.privacy.mean_f1,
+        "ndcg": result.final.ndcg,
+        "clients": result.privacy.num_clients,
+    }
 
 
 def main() -> None:

@@ -1,72 +1,65 @@
-"""Quickstart: train PTF-FedRec on a MovieLens-like dataset.
+"""Quickstart: train PTF-FedRec through the unified experiment API.
 
-Runs the full parameter transmission-free protocol — client local training,
-privacy-protected prediction uploads, server training, confidence-based
-hard dispersal — for a handful of rounds on a small synthetic dataset and
-prints the server model's ranking quality, the per-client communication
+Builds an :class:`repro.ExperimentSpec`, hands it to :func:`repro.run`, and
+reads everything off the returned :class:`repro.RunResult`: per-round
+progress, the server model's ranking quality, the per-client communication
 cost and the Top Guess Attack F1.
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.core import PTFConfig, PTFFedRec
+import repro
 from repro.data import movielens_100k
-from repro.eval import RankingEvaluator
 from repro.utils import RngFactory
+
+SEED = 42
 
 
 def main() -> None:
-    rngs = RngFactory(seed=42)
-
     # A 10%-scale statistical twin of MovieLens-100K (~94 users, ~168 movies).
-    dataset = movielens_100k(rngs.spawn("dataset"), scale=0.1)
+    dataset = movielens_100k(RngFactory(SEED).spawn("dataset"), scale=0.1)
     print(f"Dataset: {dataset}")
     print(f"Statistics: {dataset.stats().as_row()}")
 
     # The service provider hides an NGCF model on the server; every client
     # runs the public NeuMF.  Mini-scale training settings (see DESIGN.md).
-    config = PTFConfig(
-        server_model="ngcf",
-        client_model="neumf",
-        rounds=10,
-        client_local_epochs=3,
-        server_epochs=3,
-        server_batch_size=128,
-        learning_rate=0.01,
-        embedding_dim=16,
-        client_mlp_layers=(32, 16, 8),
-        alpha=30,
-        seed=42,
+    spec = repro.ExperimentSpec(
+        trainer="ptf",
+        seed=SEED,
+        model={
+            "server_model": "ngcf",
+            "client_model": "neumf",
+            "embedding_dim": 16,
+            "client_mlp_layers": (32, 16, 8),
+        },
+        protocol={
+            "rounds": 10,
+            "client_local_epochs": 3,
+            "server_epochs": 3,
+            "server_batch_size": 128,
+            "learning_rate": 0.01,
+        },
+        dispersal={"alpha": 30},
+        evaluation={"k": 20, "verbose": True},  # verbose => one line per round
     )
-    system = PTFFedRec(dataset, config)
 
-    print("\nTraining PTF-FedRec(NGCF)...")
-    for round_index in range(config.rounds):
-        summary = system.run_round(round_index)
-        print(
-            f"  round {summary.round_index:2d}: "
-            f"client loss {summary.client_loss:.3f}, "
-            f"server loss {summary.server_loss:.3f}, "
-            f"{summary.uploaded_records} predictions uploaded"
-        )
+    print("\nTraining PTF-FedRec(NGCF) via repro.run(spec)...")
+    result = repro.run(spec, dataset)
 
-    result = system.evaluate(k=20)
-    attack = system.audit_privacy(guess_ratio=0.2)
     print("\nServer model ranking quality (the hidden, trained recommender):")
-    for metric, value in result.as_dict().items():
+    for metric, value in result.final.as_dict().items():
         print(f"  {metric}: {value:.4f}")
-    print(f"\nCommunication: {system.average_client_round_kilobytes():.2f} KB "
-          f"per client per round (prediction triples only — no parameters).")
-    print(f"Top Guess Attack F1 against the final uploads: {attack.mean_f1:.3f} "
+    kb = result.communication.average_client_round_kilobytes
+    print(f"\nCommunication: {kb:.2f} KB per client per round "
+          f"(prediction triples only — no parameters).")
+    print(f"Top Guess Attack F1 against the final uploads: {result.privacy.mean_f1:.3f} "
           f"(lower is better for privacy).")
-
-    # For context: an untrained model of the same architecture.
-    untrained = RankingEvaluator(dataset, k=20)
-    print(f"\nEvaluated {result.num_users_evaluated} users at K={untrained.k}.")
+    print(f"\nEvaluated {result.final.num_users_evaluated} users at K={result.final.k} "
+          f"in {result.duration_seconds:.1f}s over {result.rounds_completed} rounds.")
 
 
 if __name__ == "__main__":

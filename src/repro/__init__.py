@@ -13,29 +13,55 @@ Recommender System" (ICDE 2024).  The package is organised bottom-up:
 * :mod:`repro.federated` — parameter transmission-based FedRec baselines
   (FCF, FedMF, MetaMF) with byte-level communication accounting,
 * :mod:`repro.core` — PTF-FedRec itself: clients, server, the
-  prediction-exchange protocol, privacy defenses and the Top Guess Attack.
+  prediction-exchange protocol, privacy defenses and the Top Guess Attack,
+* :mod:`repro.experiments` — the unified experiment API: a sectioned
+  :class:`ExperimentSpec`, a trainer registry covering every paradigm
+  (``"ptf"``, ``"fcf"``, ``"fedmf"``, ``"metamf"``, ``"centralized"``),
+  training callbacks, and :func:`run`, which returns a uniform
+  :class:`~repro.experiments.RunResult` for any of them.
 
 Quickstart::
 
-    from repro.core import PTFFedRec, PTFConfig
+    import repro
     from repro.data import movielens_100k
     from repro.utils import RngFactory
 
     dataset = movielens_100k(RngFactory(0).spawn("data"), scale=0.2)
-    system = PTFFedRec(dataset, PTFConfig(rounds=10, server_model="ngcf"))
-    system.fit()
-    print(system.evaluate(k=20).as_dict())
+    spec = repro.ExperimentSpec(
+        trainer="ptf",
+        model={"server_model": "ngcf", "embedding_dim": 16},
+        protocol={"rounds": 10},
+    )
+    result = repro.run(spec, dataset)
+    print(result.final.as_dict())
+    print(result.communication.average_client_round_kilobytes, "KB/client/round")
+
+The pre-spec entry point ``PTFFedRec(dataset, PTFConfig(...))`` still
+works; ``PTFConfig`` is deprecated and converts to an ``ExperimentSpec``.
 """
 
-from repro import core, data, eval, federated, models, nn, optim, tensor, utils
+from repro import (
+    core,
+    data,
+    eval,
+    experiments,
+    federated,
+    models,
+    nn,
+    optim,
+    tensor,
+    utils,
+)
 from repro.core import PTFConfig, PTFFedRec
+from repro.experiments import ExperimentSpec, RunResult, register_trainer, run
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "core",
     "data",
     "eval",
+    "experiments",
     "federated",
     "models",
     "nn",
@@ -44,5 +70,9 @@ __all__ = [
     "utils",
     "PTFConfig",
     "PTFFedRec",
+    "ExperimentSpec",
+    "RunResult",
+    "register_trainer",
+    "run",
     "__version__",
 ]

@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.callbacks import Callback
 
 from repro.data.dataset import InteractionDataset
 from repro.data.loaders import BatchIterator
@@ -87,10 +90,30 @@ class CentralizedTrainer:
         self.loss_history.append(mean_loss)
         return mean_loss
 
-    def fit(self, epochs: Optional[int] = None) -> "CentralizedTrainer":
-        """Train for ``epochs`` (defaults to the configured number)."""
-        for epoch in range(epochs if epochs is not None else self.config.epochs):
-            self.train_epoch(epoch)
+    def fit(
+        self,
+        epochs: Optional[int] = None,
+        callbacks: Optional[Sequence["Callback"]] = None,
+    ) -> "CentralizedTrainer":
+        """Train for ``epochs`` (defaults to the configured number).
+
+        Each epoch counts as one "round" for the shared training hooks, so
+        callbacks (eval-every-k, early stopping, progress logging) behave
+        identically across the centralized and federated paradigms.
+        """
+        from repro.experiments.callbacks import CallbackList
+
+        hooks = CallbackList(callbacks)
+        start = len(self.loss_history)
+        total = epochs if epochs is not None else self.config.epochs
+        hooks.on_fit_start(self)
+        for epoch in range(start, start + total):
+            hooks.on_round_start(self, epoch)
+            mean_loss = self.train_epoch(epoch)
+            hooks.on_round_end(self, epoch, {"loss": mean_loss})
+            if hooks.should_stop:
+                break
+        hooks.on_fit_end(self)
         return self
 
     def evaluate(self, k: int = 20, max_users: Optional[int] = None) -> RankingResult:

@@ -9,11 +9,12 @@ each other's parameters.  They cooperate by exchanging prediction scores:
   disperses soft labels ``D̃_i`` for confidence-selected and hard items
   back to each client (Section III-B3).
 
-Public entry point: :class:`PTFFedRec` drives the whole protocol;
-:class:`PTFConfig` carries every hyper-parameter from Section IV-D.
+Public entry point: :class:`PTFFedRec` drives the whole protocol,
+configured by a :class:`repro.experiments.ExperimentSpec` (the legacy
+:class:`PTFConfig` is kept as a deprecated shim that converts to a spec).
 """
 
-from repro.core.config import PTFConfig, DefenseMode, DispersalMode
+from repro.core.config import PTFConfig, DefenseMode, DispersalMode, ensure_spec
 from repro.core.client import ClientUpload, PTFClient
 from repro.core.server import DispersedDataset, PTFServer
 from repro.core.privacy import (
@@ -29,6 +30,7 @@ __all__ = [
     "PTFConfig",
     "DefenseMode",
     "DispersalMode",
+    "ensure_spec",
     "PTFClient",
     "ClientUpload",
     "PTFServer",

@@ -18,11 +18,11 @@ on a device.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
-from repro.core.config import PTFConfig
+from repro.core.config import PTFConfig, ensure_spec, legacy_config_view
 from repro.core.privacy import apply_defense, sample_upload_items
 from repro.data.sampling import UserBatchSampler, sample_negative_items
 from repro.models.base import Recommender
@@ -30,6 +30,9 @@ from repro.models.factory import create_model
 from repro.nn.losses import PointwiseBCELoss
 from repro.optim import Adam
 from repro.utils.rng import RngFactory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.spec import ExperimentSpec
 
 
 @dataclass
@@ -69,29 +72,34 @@ class PTFClient:
         user_id: int,
         num_items: int,
         positive_items: np.ndarray,
-        config: PTFConfig,
+        config: Union["ExperimentSpec", PTFConfig, None],
         rngs: RngFactory,
     ):
         self.user_id = int(user_id)
         self.num_items = int(num_items)
         self.positive_items = np.asarray(positive_items, dtype=np.int64)
-        self.config = config
+        self.spec = ensure_spec(config)
         self._rngs = rngs
 
         model_rng = rngs.spawn_indexed("client-model", self.user_id)
         self.model: Recommender = create_model(
-            config.client_model,
+            self.spec.model.client_model,
             num_users=1,
             num_items=num_items,
-            embedding_dim=config.embedding_dim,
+            embedding_dim=self.spec.model.embedding_dim,
             rng=model_rng,
         )
-        self.optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
+        self.optimizer = Adam(self.model.parameters(), lr=self.spec.protocol.learning_rate)
         self.loss_fn = PointwiseBCELoss()
 
         # Server-provided soft labels (D̃_i); empty until the first dispersal.
         self.server_items: np.ndarray = np.empty(0, dtype=np.int64)
         self.server_scores: np.ndarray = np.empty(0, dtype=np.float64)
+
+    @property
+    def config(self) -> PTFConfig:
+        """Deprecated flat snapshot of :attr:`spec` (pre-1.1 compatibility)."""
+        return legacy_config_view(self.spec)
 
     # ------------------------------------------------------------------
     # Local training (Eq. 3)
@@ -100,18 +108,19 @@ class PTFClient:
         """Train the local model on ``D_i ∪ D̃_i``; returns the mean loss."""
         if self.positive_items.size == 0:
             return 0.0
+        protocol = self.spec.protocol
         rng = self._rngs.spawn_indexed("client-training", self.user_id * 1_000_003 + round_index)
         sampler = UserBatchSampler(
             num_items=self.num_items,
             positive_items=self.positive_items,
-            negative_ratio=self.config.negative_ratio,
-            batch_size=self.config.client_batch_size,
+            negative_ratio=protocol.negative_ratio,
+            batch_size=protocol.client_batch_size,
             rng=rng,
         )
         self.model.train()
         total_loss = 0.0
         batches = 0
-        for _ in range(self.config.client_local_epochs):
+        for _ in range(protocol.client_local_epochs):
             for items, labels in sampler.epoch(self.server_items, self.server_scores):
                 users = np.zeros(len(items), dtype=np.int64)
                 predictions = self.model.score(users, items)
@@ -128,6 +137,7 @@ class PTFClient:
     # ------------------------------------------------------------------
     def build_upload(self, round_index: int) -> ClientUpload:
         """Construct the privacy-protected prediction dataset ``D̂_i``."""
+        privacy = self.spec.privacy
         rng = self._rngs.spawn_indexed("client-upload", self.user_id * 1_000_003 + round_index)
 
         # The trained item pool V_i^t: this round's positives plus sampled
@@ -136,19 +146,19 @@ class PTFClient:
             sample_negative_items(
                 self.num_items,
                 self.positive_items,
-                self.config.negative_ratio * max(self.positive_items.size, 1),
+                self.spec.protocol.negative_ratio * max(self.positive_items.size, 1),
                 rng,
             )
         )
 
-        if self.config.defense in ("none", "ldp"):
+        if privacy.defense in ("none", "ldp"):
             # Upload predictions for the whole trained pool (the vulnerable
             # construction the paper uses as its "No Defense" baseline).
             selected_positive = self.positive_items.copy()
             selected_negative = negatives
         else:
-            beta = rng.uniform(*self.config.beta_range)
-            gamma = rng.uniform(*self.config.gamma_range)
+            beta = rng.uniform(*privacy.beta_range)
+            gamma = rng.uniform(*privacy.gamma_range)
             selected_positive, selected_negative = sample_upload_items(
                 self.positive_items, negatives, beta, gamma, rng
             )
@@ -160,11 +170,11 @@ class PTFClient:
         ])
         scores = self._predict(items)
         scores = apply_defense(
-            self.config.defense,
+            privacy.defense,
             scores,
             positive_mask,
-            swap_rate=self.config.swap_rate,
-            ldp_scale=self.config.ldp_scale,
+            swap_rate=privacy.swap_rate,
+            ldp_scale=privacy.ldp_scale,
             rng=rng,
         )
         return ClientUpload(

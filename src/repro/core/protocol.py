@@ -3,18 +3,22 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.attack import AttackReport, TopGuessAttack
 from repro.core.client import ClientUpload, PTFClient
-from repro.core.config import PTFConfig
+from repro.core.config import PTFConfig, ensure_spec, legacy_config_view
 from repro.core.server import PTFServer
 from repro.data.dataset import InteractionDataset
 from repro.eval.ranking import RankingEvaluator, RankingResult
 from repro.federated.communication import CommunicationLedger, prediction_triple_bytes
 from repro.utils.rng import RngFactory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.callbacks import Callback
+    from repro.experiments.spec import ExperimentSpec
 
 
 @dataclass(frozen=True)
@@ -28,6 +32,16 @@ class RoundSummary:
     uploaded_records: int
     dispersed_records: int
 
+    def as_logs(self) -> Dict[str, float]:
+        """The round's scalar metrics in callback ``logs`` form."""
+        return {
+            "num_clients": self.num_clients,
+            "client_loss": self.client_loss,
+            "server_loss": self.server_loss,
+            "uploaded_records": self.uploaded_records,
+            "dispersed_records": self.dispersed_records,
+        }
+
 
 class PTFFedRec:
     """The parameter transmission-free federated recommender system.
@@ -37,25 +51,33 @@ class PTFFedRec:
     upload, server training on the pooled uploads, and confidence-based
     hard dispersal back to the clients.  Communication (prediction triples
     in both directions, nothing else) is metered in :attr:`ledger`.
+
+    Configured by a :class:`repro.experiments.ExperimentSpec` (a legacy
+    :class:`PTFConfig` is accepted and converted; ``None`` uses the paper's
+    defaults).
     """
 
     name = "PTF-FedRec"
 
-    def __init__(self, dataset: InteractionDataset, config: Optional[PTFConfig] = None):
+    def __init__(
+        self,
+        dataset: InteractionDataset,
+        config: Union["ExperimentSpec", PTFConfig, None] = None,
+    ):
         self.dataset = dataset
-        self.config = config if config is not None else PTFConfig()
-        self._rngs = RngFactory(self.config.seed)
+        self.spec = ensure_spec(config)
+        self._rngs = RngFactory(self.spec.seed)
         self.ledger = CommunicationLedger()
 
         self.server = PTFServer(
-            dataset.num_users, dataset.num_items, self.config, self._rngs
+            dataset.num_users, dataset.num_items, self.spec, self._rngs
         )
         self.clients: Dict[int, PTFClient] = {
             user: PTFClient(
                 user_id=user,
                 num_items=dataset.num_items,
                 positive_items=dataset.train_items(user),
-                config=self.config,
+                config=self.spec,
                 rngs=self._rngs,
             )
             for user in dataset.users
@@ -63,15 +85,20 @@ class PTFFedRec:
         self.round_summaries: List[RoundSummary] = []
         self.last_round_uploads: List[ClientUpload] = []
 
+    @property
+    def config(self) -> PTFConfig:
+        """Deprecated flat snapshot of :attr:`spec` (pre-1.1 compatibility)."""
+        return legacy_config_view(self.spec)
+
     # ------------------------------------------------------------------
     # Protocol rounds
     # ------------------------------------------------------------------
     def _select_clients(self, round_index: int) -> List[int]:
         users = sorted(self.clients)
-        if self.config.client_fraction >= 1.0:
+        if self.spec.protocol.client_fraction >= 1.0:
             return users
         rng = self._rngs.spawn_indexed("protocol-client-selection", round_index)
-        count = max(1, int(round(self.config.client_fraction * len(users))))
+        count = max(1, int(round(self.spec.protocol.client_fraction * len(users))))
         return sorted(rng.choice(users, size=count, replace=False).tolist())
 
     def run_round(self, round_index: int) -> RoundSummary:
@@ -120,12 +147,30 @@ class PTFFedRec:
         self.last_round_uploads = uploads
         return summary
 
-    def fit(self, rounds: Optional[int] = None) -> "PTFFedRec":
-        """Run the configured number of global rounds."""
-        total = rounds if rounds is not None else self.config.rounds
-        for round_index in range(len(self.round_summaries),
-                                 len(self.round_summaries) + total):
-            self.run_round(round_index)
+    def fit(
+        self,
+        rounds: Optional[int] = None,
+        callbacks: Optional[Sequence["Callback"]] = None,
+    ) -> "PTFFedRec":
+        """Run the configured number of global rounds.
+
+        ``callbacks`` receive the shared training hooks
+        (:meth:`on_round_start`, :meth:`on_round_end` with the round's
+        summary metrics, :meth:`on_fit_end`) and may stop training early.
+        """
+        from repro.experiments.callbacks import CallbackList
+
+        hooks = CallbackList(callbacks)
+        total = rounds if rounds is not None else self.spec.protocol.rounds
+        start = len(self.round_summaries)
+        hooks.on_fit_start(self)
+        for round_index in range(start, start + total):
+            hooks.on_round_start(self, round_index)
+            summary = self.run_round(round_index)
+            hooks.on_round_end(self, round_index, summary.as_logs())
+            if hooks.should_stop:
+                break
+        hooks.on_fit_end(self)
         return self
 
     # ------------------------------------------------------------------
@@ -141,31 +186,15 @@ class PTFFedRec:
 
         Not a paper table, but useful for analysis: it shows how much of
         the server's knowledge flows back to the devices via ``D̃_i``.
+        Each client model scores its own catalogue (the model holds a
+        single user row, index 0) and the evaluator grades the scores
+        against that user's held-out items.
         """
         evaluator = RankingEvaluator(self.dataset, k=k)
-        recalls, ndcgs, precisions, hits = [], [], [], []
-        evaluated = 0
-        for user, client in sorted(self.clients.items()):
-            test_items = self.dataset.test_items(user)
-            if test_items.size == 0:
-                continue
-            result = _evaluate_single_user(client, self.dataset, user, k)
-            recalls.append(result.recall)
-            ndcgs.append(result.ndcg)
-            precisions.append(result.precision)
-            hits.append(result.hit_rate)
-            evaluated += 1
-            if max_users is not None and evaluated >= max_users:
-                break
-        if evaluated == 0:
-            return RankingResult(0.0, 0.0, 0.0, 0.0, k, 0)
-        return RankingResult(
-            recall=float(np.mean(recalls)),
-            ndcg=float(np.mean(ndcgs)),
-            precision=float(np.mean(precisions)),
-            hit_rate=float(np.mean(hits)),
-            k=k,
-            num_users_evaluated=evaluated,
+        return evaluator.evaluate_per_user_scores(
+            lambda user: self.clients[user].model.score_all_items(0),
+            users=sorted(self.clients),
+            max_users=max_users,
         )
 
     def audit_privacy(self, guess_ratio: float = 0.2) -> AttackReport:
@@ -176,28 +205,3 @@ class PTFFedRec:
     def average_client_round_kilobytes(self) -> float:
         """Average per-client per-round communication in KB (Table IV)."""
         return self.ledger.average_client_round_kilobytes()
-
-
-def _evaluate_single_user(
-    client: PTFClient, dataset: InteractionDataset, user: int, k: int
-) -> RankingResult:
-    """Evaluate one client's local model on its own held-out items."""
-    from repro.eval.metrics import hit_rate_at_k, ndcg_at_k, precision_at_k, recall_at_k
-
-    scores = client.model.score_all_items(0)
-    train_items = dataset.train_items(user)
-    if train_items.size:
-        scores = scores.copy()
-        scores[train_items] = -np.inf
-    k = min(k, dataset.num_items)
-    top = np.argpartition(-scores, kth=k - 1)[:k]
-    recommended = top[np.argsort(-scores[top])]
-    test_items = dataset.test_items(user)
-    return RankingResult(
-        recall=recall_at_k(recommended, test_items, k),
-        ndcg=ndcg_at_k(recommended, test_items, k),
-        precision=precision_at_k(recommended, test_items, k),
-        hit_rate=hit_rate_at_k(recommended, test_items, k),
-        k=k,
-        num_users_evaluated=1,
-    )

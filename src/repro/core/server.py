@@ -21,12 +21,12 @@ the uploads, as described in DESIGN.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, List, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from repro.core.client import ClientUpload
-from repro.core.config import PTFConfig
+from repro.core.config import PTFConfig, ensure_spec, legacy_config_view
 from repro.data.loaders import BatchIterator
 from repro.models.base import Recommender
 from repro.models.factory import create_model
@@ -34,6 +34,9 @@ from repro.models.graph import pairs_from_scores
 from repro.nn.losses import PointwiseBCELoss
 from repro.optim import Adam
 from repro.utils.rng import RngFactory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.spec import ExperimentSpec
 
 
 @dataclass
@@ -58,32 +61,40 @@ class DispersedDataset:
 class PTFServer:
     """Holds and trains the hidden server-side recommendation model."""
 
-    def __init__(self, num_users: int, num_items: int, config: PTFConfig, rngs: RngFactory):
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        config: Union["ExperimentSpec", PTFConfig, None],
+        rngs: RngFactory,
+    ):
         self.num_users = int(num_users)
         self.num_items = int(num_items)
-        self.config = config
+        self.spec = ensure_spec(config)
         self._rngs = rngs
 
-        kwargs = {}
-        if config.server_model.lower() in ("ngcf", "lightgcn"):
-            kwargs["num_layers"] = config.server_num_layers
-        if config.server_model.lower() == "neumf":
-            kwargs["mlp_layers"] = config.client_mlp_layers
+        model_spec = self.spec.model
+        kwargs = model_spec.server_model_kwargs()
         self.model: Recommender = create_model(
-            config.server_model,
+            model_spec.server_model,
             num_users=num_users,
             num_items=num_items,
-            embedding_dim=config.embedding_dim,
+            embedding_dim=model_spec.embedding_dim,
             rng=rngs.spawn("server-model"),
             **kwargs,
         )
-        self.optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
+        self.optimizer = Adam(self.model.parameters(), lr=self.spec.protocol.learning_rate)
         self.loss_fn = PointwiseBCELoss()
 
         # Surrogate interaction graph accumulated from uploaded predictions
         # (only used when the server model is graph-based).
         self._graph_pairs: Set[Tuple[int, int]] = set()
         self.loss_history: List[float] = []
+
+    @property
+    def config(self) -> PTFConfig:
+        """Deprecated flat snapshot of :attr:`spec` (pre-1.1 compatibility)."""
+        return legacy_config_view(self.spec)
 
     # ------------------------------------------------------------------
     # Training on uploads (Eq. 5)
@@ -105,9 +116,10 @@ class PTFServer:
         self.model.train()
         total_loss = 0.0
         batches = 0
-        for _ in range(self.config.server_epochs):
+        for _ in range(self.spec.protocol.server_epochs):
             iterator = BatchIterator(
-                users, items, scores, batch_size=self.config.server_batch_size, rng=rng
+                users, items, scores,
+                batch_size=self.spec.protocol.server_batch_size, rng=rng,
             )
             for batch_users, batch_items, batch_scores in iterator:
                 predictions = self.model.score(batch_users, batch_items)
@@ -126,7 +138,9 @@ class PTFServer:
     ) -> None:
         if not hasattr(self.model, "set_interaction_graph"):
             return
-        new_pairs = pairs_from_scores(users, items, scores, threshold=self.config.graph_threshold)
+        new_pairs = pairs_from_scores(
+            users, items, scores, threshold=self.spec.dispersal.graph_threshold
+        )
         before = len(self._graph_pairs)
         self._graph_pairs.update((int(u), int(i)) for u, i in new_pairs)
         if len(self._graph_pairs) != before or before == 0:
@@ -137,29 +151,33 @@ class PTFServer:
     # ------------------------------------------------------------------
     def build_dispersal(self, upload: ClientUpload, round_index: int) -> DispersedDataset:
         """Build ``D̃_i`` for the client that produced ``upload``."""
-        alpha = min(self.config.alpha, self.num_items)
+        dispersal = self.spec.dispersal
+        alpha = min(dispersal.alpha, self.num_items)
         if alpha == 0:
             empty = np.empty(0, dtype=np.int64)
             return DispersedDataset(upload.user_id, empty, empty.astype(np.float64))
 
-        excluded = set(int(item) for item in upload.items)
-        candidates = np.array(
-            [item for item in range(self.num_items) if item not in excluded], dtype=np.int64
-        )
+        # Candidate pool: the full catalogue minus the client's uploaded
+        # items, built with a boolean mask (the per-item Python loop this
+        # replaces dominated round time on large catalogues).
+        available = np.ones(self.num_items, dtype=bool)
+        available[upload.items] = False
+        candidates = np.flatnonzero(available).astype(np.int64)
         if candidates.size == 0:
             empty = np.empty(0, dtype=np.int64)
             return DispersedDataset(upload.user_id, empty, empty.astype(np.float64))
         alpha = min(alpha, candidates.size)
 
-        num_confidence = int(round(self.config.mu * alpha))
+        num_confidence = int(round(dispersal.mu * alpha))
         num_hard = alpha - num_confidence
         rng = self._rngs.spawn_indexed(
             "server-dispersal", upload.user_id * 1_000_003 + round_index
         )
 
-        mode = self.config.dispersal_mode
+        mode = dispersal.mode
         confidence_items = self._select_confidence(candidates, num_confidence, rng, mode)
-        remaining = candidates[~np.isin(candidates, confidence_items)]
+        available[confidence_items] = False
+        remaining = np.flatnonzero(available).astype(np.int64)
         hard_items = self._select_hard(upload.user_id, remaining, num_hard, rng, mode)
 
         items = np.unique(np.concatenate([confidence_items, hard_items]))

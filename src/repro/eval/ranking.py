@@ -3,12 +3,18 @@
 Matches the paper's Section IV-B: for every user with held-out test items,
 score *all* items the user has not interacted with in training, take the
 top-K, and average Recall@K and NDCG@K over users.
+
+:class:`RankingEvaluator` owns all per-user scoring: global-model
+evaluation (:meth:`~RankingEvaluator.evaluate`) and per-user score-vector
+evaluation (:meth:`~RankingEvaluator.evaluate_user_scores`, used by
+PTF-FedRec's per-client model analysis) share the same mask / top-K /
+metric pipeline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 import numpy as np
 
@@ -37,6 +43,37 @@ class RankingResult:
         }
 
 
+class _MetricAccumulator:
+    """Running per-user metric sums, averaged into a RankingResult."""
+
+    def __init__(self, k: int):
+        self.k = k
+        self.recall = 0.0
+        self.ndcg = 0.0
+        self.precision = 0.0
+        self.hit = 0.0
+        self.count = 0
+
+    def add(self, result: RankingResult) -> None:
+        self.recall += result.recall
+        self.ndcg += result.ndcg
+        self.precision += result.precision
+        self.hit += result.hit_rate
+        self.count += 1
+
+    def average(self) -> RankingResult:
+        if self.count == 0:
+            return RankingResult(0.0, 0.0, 0.0, 0.0, self.k, 0)
+        return RankingResult(
+            recall=self.recall / self.count,
+            ndcg=self.ndcg / self.count,
+            precision=self.precision / self.count,
+            hit_rate=self.hit / self.count,
+            k=self.k,
+            num_users_evaluated=self.count,
+        )
+
+
 class RankingEvaluator:
     """Evaluates a :class:`Recommender` on a dataset's test split."""
 
@@ -46,6 +83,48 @@ class RankingEvaluator:
         self.dataset = dataset
         self.k = k
 
+    # ------------------------------------------------------------------
+    # Per-user scoring
+    # ------------------------------------------------------------------
+    def result_for_recommendations(
+        self, recommended: np.ndarray, test_items: np.ndarray
+    ) -> RankingResult:
+        """Grade one user's ranked recommendation list."""
+        k = min(self.k, self.dataset.num_items)
+        return RankingResult(
+            recall=recall_at_k(recommended, test_items, k),
+            ndcg=ndcg_at_k(recommended, test_items, k),
+            precision=precision_at_k(recommended, test_items, k),
+            hit_rate=hit_rate_at_k(recommended, test_items, k),
+            k=k,
+            num_users_evaluated=1,
+        )
+
+    def evaluate_user_scores(self, user: int, scores: np.ndarray) -> RankingResult:
+        """Grade one user given that user's full item-score vector.
+
+        Training positives are masked out before the top-K cut, matching
+        the full-ranking protocol; the caller supplies the scores, so this
+        works for models that index the user differently (e.g. a client's
+        on-device model, which always scores as user 0).
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.shape != (self.dataset.num_items,):
+            raise ValueError(
+                f"scores must have shape ({self.dataset.num_items},), got {scores.shape}"
+            )
+        train_items = self.dataset.train_items(user)
+        if train_items.size:
+            scores = scores.copy()
+            scores[train_items] = -np.inf
+        k = min(self.k, self.dataset.num_items)
+        top = np.argpartition(-scores, kth=k - 1)[:k]
+        recommended = top[np.argsort(-scores[top])]
+        return self.result_for_recommendations(recommended, self.dataset.test_items(user))
+
+    # ------------------------------------------------------------------
+    # Aggregate evaluation
+    # ------------------------------------------------------------------
     def evaluate(
         self,
         model: Recommender,
@@ -58,33 +137,40 @@ class RankingEvaluator:
         lowest ids first) so benchmark runs stay fast; ``None`` evaluates
         everyone with at least one test interaction.
         """
-        candidates = list(users) if users is not None else self.dataset.users
-        evaluated = 0
-        recall_sum = 0.0
-        ndcg_sum = 0.0
-        precision_sum = 0.0
-        hit_sum = 0.0
-        for user in candidates:
-            test_items = self.dataset.test_items(user)
-            if test_items.size == 0:
-                continue
+        accumulator = _MetricAccumulator(self.k)
+        for user in self._test_users(users):
             recommended = model.recommend(
                 user, k=self.k, exclude_items=self.dataset.train_items(user)
             )
-            recall_sum += recall_at_k(recommended, test_items, self.k)
-            ndcg_sum += ndcg_at_k(recommended, test_items, self.k)
-            precision_sum += precision_at_k(recommended, test_items, self.k)
-            hit_sum += hit_rate_at_k(recommended, test_items, self.k)
-            evaluated += 1
-            if max_users is not None and evaluated >= max_users:
+            accumulator.add(
+                self.result_for_recommendations(recommended, self.dataset.test_items(user))
+            )
+            if max_users is not None and accumulator.count >= max_users:
                 break
-        if evaluated == 0:
-            return RankingResult(0.0, 0.0, 0.0, 0.0, self.k, 0)
-        return RankingResult(
-            recall=recall_sum / evaluated,
-            ndcg=ndcg_sum / evaluated,
-            precision=precision_sum / evaluated,
-            hit_rate=hit_sum / evaluated,
-            k=self.k,
-            num_users_evaluated=evaluated,
-        )
+        return accumulator.average()
+
+    def evaluate_per_user_scores(
+        self,
+        score_fn: Callable[[int], np.ndarray],
+        users: Optional[Iterable[int]] = None,
+        max_users: Optional[int] = None,
+    ) -> RankingResult:
+        """Average metrics where ``score_fn(user)`` yields each user's scores.
+
+        The per-user counterpart of :meth:`evaluate`: used when every user
+        has their own model (PTF-FedRec clients) rather than one shared
+        recommender.
+        """
+        accumulator = _MetricAccumulator(self.k)
+        for user in self._test_users(users):
+            accumulator.add(self.evaluate_user_scores(user, score_fn(user)))
+            if max_users is not None and accumulator.count >= max_users:
+                break
+        return accumulator.average()
+
+    def _test_users(self, users: Optional[Iterable[int]]) -> Iterable[int]:
+        """Users with at least one held-out test interaction, in order."""
+        candidates = list(users) if users is not None else self.dataset.users
+        for user in candidates:
+            if self.dataset.test_items(user).size:
+                yield user

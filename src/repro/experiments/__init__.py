@@ -1,0 +1,80 @@
+"""Unified experiment API: one entry point for every training paradigm.
+
+The pieces compose bottom-up:
+
+* :mod:`repro.experiments.spec` — :class:`ExperimentSpec` and its sections
+  (:class:`ModelSpec`, :class:`ProtocolSpec`, :class:`PrivacySpec`,
+  :class:`DispersalSpec`, :class:`EvalSpec`) with dict/JSON round-trips,
+* :mod:`repro.experiments.registry` — ``@register_trainer`` dispatch for
+  ``"ptf"``, ``"fcf"``, ``"fedmf"``, ``"metamf"`` and ``"centralized"``,
+* :mod:`repro.experiments.callbacks` — the shared training hooks
+  (``on_round_start/end``, ``on_fit_end``) and built-ins,
+* :mod:`repro.experiments.runner` — :func:`run`, which returns the uniform
+  :class:`~repro.experiments.result.RunResult` for any trainer.
+
+Quickstart::
+
+    import repro
+    from repro.experiments import ExperimentSpec
+
+    spec = ExperimentSpec(trainer="ptf", protocol={"rounds": 10})
+    result = repro.run(spec)          # small synthetic dataset by default
+    print(result.final.as_dict(), result.communication.to_dict())
+"""
+
+from repro.experiments.callbacks import (
+    Callback,
+    CallbackList,
+    EarlyStopping,
+    EvalEveryK,
+    ProgressLogger,
+)
+from repro.experiments.registry import (
+    available_trainers,
+    create_trainer,
+    get_trainer,
+    is_registered,
+    register_trainer,
+)
+from repro.experiments.result import (
+    CommunicationSummary,
+    PrivacySummary,
+    RoundRecord,
+    RunResult,
+)
+from repro.experiments.spec import (
+    DispersalSpec,
+    EvalSpec,
+    ExperimentSpec,
+    ModelSpec,
+    PrivacySpec,
+    ProtocolSpec,
+)
+from repro.experiments import trainers  # noqa: F401  (registers the built-in trainers)
+from repro.experiments.trainers import TrainerAdapter
+from repro.experiments.runner import run
+
+__all__ = [
+    "Callback",
+    "CallbackList",
+    "EarlyStopping",
+    "EvalEveryK",
+    "ProgressLogger",
+    "available_trainers",
+    "create_trainer",
+    "get_trainer",
+    "is_registered",
+    "register_trainer",
+    "CommunicationSummary",
+    "PrivacySummary",
+    "RoundRecord",
+    "RunResult",
+    "DispersalSpec",
+    "EvalSpec",
+    "ExperimentSpec",
+    "ModelSpec",
+    "PrivacySpec",
+    "ProtocolSpec",
+    "TrainerAdapter",
+    "run",
+]

@@ -1,0 +1,173 @@
+"""Training callbacks shared by every trainer paradigm.
+
+All five registered trainers drive their fit loops through the same hook
+protocol: ``on_fit_start``, ``on_round_start``, ``on_round_end`` (which
+receives a mutable ``logs`` dict of that round's scalar metrics) and
+``on_fit_end``.  A callback may set ``stop_training = True`` to end the
+run early; the loops check :attr:`CallbackList.should_stop` after every
+round.
+
+Built-ins:
+
+* :class:`EvalEveryK` — run ranking evaluation every ``every`` rounds and
+  merge the metrics into the round's logs,
+* :class:`EarlyStopping` — stop when a logged metric (NDCG by default)
+  plateaus,
+* :class:`ProgressLogger` — print one line per round.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+
+class Callback:
+    """Base class; override any subset of the hooks."""
+
+    #: Set to True to request the fit loop to stop after the current round.
+    stop_training: bool = False
+
+    def on_fit_start(self, trainer) -> None:
+        """Called once before the first round."""
+
+    def on_round_start(self, trainer, round_index: int) -> None:
+        """Called before each round/epoch."""
+
+    def on_round_end(self, trainer, round_index: int, logs: Dict[str, float]) -> None:
+        """Called after each round/epoch with that round's scalar metrics."""
+
+    def on_fit_end(self, trainer) -> None:
+        """Called once after the last round (early-stopped or not)."""
+
+
+class CallbackList(Callback):
+    """Dispatches every hook to an ordered collection of callbacks."""
+
+    def __init__(self, callbacks: Optional[Iterable[Callback]] = None):
+        self.callbacks: List[Callback] = list(callbacks) if callbacks is not None else []
+
+    @property
+    def should_stop(self) -> bool:
+        return any(getattr(callback, "stop_training", False) for callback in self.callbacks)
+
+    def on_fit_start(self, trainer) -> None:
+        for callback in self.callbacks:
+            callback.on_fit_start(trainer)
+
+    def on_round_start(self, trainer, round_index: int) -> None:
+        for callback in self.callbacks:
+            callback.on_round_start(trainer, round_index)
+
+    def on_round_end(self, trainer, round_index: int, logs: Dict[str, float]) -> None:
+        for callback in self.callbacks:
+            callback.on_round_end(trainer, round_index, logs)
+
+    def on_fit_end(self, trainer) -> None:
+        for callback in self.callbacks:
+            callback.on_fit_end(trainer)
+
+
+class EvalEveryK(Callback):
+    """Evaluate ranking quality every ``every`` rounds during training.
+
+    The metrics are merged into the round's ``logs`` (keys ``recall``,
+    ``ndcg``, ``precision``, ``hit_rate``) so downstream callbacks such as
+    :class:`EarlyStopping` and the run-history recorder see them, and the
+    ``(round_index, RankingResult)`` pairs accumulate in :attr:`history`.
+    """
+
+    def __init__(self, every: int = 1, k: int = 20, max_users: Optional[int] = None):
+        if every <= 0:
+            raise ValueError(f"every must be positive, got {every}")
+        self.every = every
+        self.k = k
+        self.max_users = max_users
+        self.history: List[Tuple[int, object]] = []
+
+    def on_fit_start(self, trainer) -> None:
+        self.history = []
+
+    def on_round_end(self, trainer, round_index: int, logs: Dict[str, float]) -> None:
+        if (round_index + 1) % self.every != 0:
+            return
+        result = trainer.evaluate(k=self.k, max_users=self.max_users)
+        logs["recall"] = result.recall
+        logs["ndcg"] = result.ndcg
+        logs["precision"] = result.precision
+        logs["hit_rate"] = result.hit_rate
+        self.history.append((round_index, result))
+
+
+class EarlyStopping(Callback):
+    """Stop training when a logged metric stops improving.
+
+    Rounds whose logs do not carry ``metric`` (e.g. rounds between two
+    :class:`EvalEveryK` evaluations) are ignored, so patience counts
+    *observations*, not rounds.
+    """
+
+    def __init__(
+        self,
+        metric: str = "ndcg",
+        patience: int = 3,
+        min_delta: float = 0.0,
+        mode: str = "max",
+    ):
+        if patience <= 0:
+            raise ValueError(f"patience must be positive, got {patience}")
+        if mode not in ("max", "min"):
+            raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        self.metric = metric
+        self.patience = patience
+        self.min_delta = min_delta
+        self.mode = mode
+        self.best: Optional[float] = None
+        self.wait = 0
+        self.stopped_round: Optional[int] = None
+
+    def on_fit_start(self, trainer) -> None:
+        self.best = None
+        self.wait = 0
+        self.stopped_round = None
+        self.stop_training = False
+
+    def _improved(self, value: float) -> bool:
+        if self.best is None:
+            return True
+        if self.mode == "max":
+            return value > self.best + self.min_delta
+        return value < self.best - self.min_delta
+
+    def on_round_end(self, trainer, round_index: int, logs: Dict[str, float]) -> None:
+        value = logs.get(self.metric)
+        if value is None:
+            return
+        if self._improved(float(value)):
+            self.best = float(value)
+            self.wait = 0
+            return
+        self.wait += 1
+        if self.wait >= self.patience:
+            self.stop_training = True
+            self.stopped_round = round_index
+
+
+class ProgressLogger(Callback):
+    """Print one line per round with that round's logged metrics."""
+
+    def __init__(self, print_fn: Callable[[str], None] = print, prefix: str = ""):
+        self.print_fn = print_fn
+        self.prefix = prefix
+
+    def on_round_end(self, trainer, round_index: int, logs: Dict[str, float]) -> None:
+        parts = []
+        for key, value in logs.items():
+            if isinstance(value, float):
+                parts.append(f"{key}={value:.4f}")
+            else:
+                parts.append(f"{key}={value}")
+        self.print_fn(f"{self.prefix}round {round_index:3d}: " + " ".join(parts))
+
+    def on_fit_end(self, trainer) -> None:
+        name = getattr(trainer, "name", type(trainer).__name__)
+        self.print_fn(f"{self.prefix}{name}: training finished")

@@ -1,0 +1,68 @@
+"""Trainer registry: name -> factory dispatch for every training paradigm.
+
+The registry is the seam that lets one entry point —
+``repro.run(ExperimentSpec(trainer="..."))`` — drive PTF-FedRec, the
+parameter-transmission baselines and centralized training uniformly, and
+lets downstream code add new paradigms without touching the runner::
+
+    from repro.experiments import register_trainer
+
+    @register_trainer("my-protocol")
+    class MyAdapter(TrainerAdapter):
+        ...
+
+Factories receive ``(spec, dataset)`` and must return an object with the
+:class:`~repro.experiments.trainers.TrainerAdapter` interface (``fit``,
+``evaluate``, ``rounds_completed``, ``communication_summary``,
+``privacy_summary``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+#: name -> factory(spec, dataset) -> trainer adapter
+_TRAINER_REGISTRY: Dict[str, Callable] = {}
+
+
+def register_trainer(name: str, *, replace: bool = False) -> Callable:
+    """Class/function decorator that registers a trainer factory under ``name``."""
+
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("trainer name must be a non-empty string")
+
+    def decorator(factory: Callable) -> Callable:
+        if key in _TRAINER_REGISTRY and not replace:
+            raise ValueError(
+                f"trainer {key!r} is already registered; pass replace=True to override"
+            )
+        _TRAINER_REGISTRY[key] = factory
+        return factory
+
+    return decorator
+
+
+def get_trainer(name: str) -> Callable:
+    """Look up a trainer factory, raising KeyError with the available names."""
+    key = name.strip().lower()
+    if key not in _TRAINER_REGISTRY:
+        raise KeyError(
+            f"unknown trainer {name!r}; registered trainers: {available_trainers()}"
+        )
+    return _TRAINER_REGISTRY[key]
+
+
+def is_registered(name: str) -> bool:
+    """True when ``name`` resolves to a registered trainer."""
+    return name.strip().lower() in _TRAINER_REGISTRY
+
+
+def available_trainers() -> Tuple[str, ...]:
+    """Sorted names of every registered trainer."""
+    return tuple(sorted(_TRAINER_REGISTRY))
+
+
+def create_trainer(spec, dataset):
+    """Instantiate the trainer adapter named by ``spec.trainer``."""
+    return get_trainer(spec.trainer)(spec, dataset)

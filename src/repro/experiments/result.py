@@ -1,0 +1,114 @@
+"""The uniform result object every registered trainer returns.
+
+Whatever the paradigm, ``repro.run`` answers the same questions with the
+same shapes: how did training progress round by round (:attr:`RunResult.history`),
+how good is the final model (:attr:`RunResult.final`), what did it cost on
+the wire (:attr:`RunResult.communication`), and — when the trainer exposes
+uploads to audit — how much did they leak (:attr:`RunResult.privacy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.eval.ranking import RankingResult
+from repro.experiments.spec import ExperimentSpec
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Scalar metrics logged for one global round (or centralized epoch)."""
+
+    round_index: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"round": self.round_index, **self.metrics}
+
+
+@dataclass(frozen=True)
+class CommunicationSummary:
+    """Ledger totals; all zeros for paradigms that move no bytes."""
+
+    total_bytes: int = 0
+    num_transfers: int = 0
+    average_client_round_kilobytes: float = 0.0
+
+    @classmethod
+    def from_ledger(cls, ledger) -> "CommunicationSummary":
+        if ledger is None:
+            return cls()
+        return cls(
+            total_bytes=ledger.total_bytes(),
+            num_transfers=len(ledger),
+            average_client_round_kilobytes=ledger.average_client_round_kilobytes(),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total_bytes": self.total_bytes,
+            "num_transfers": self.num_transfers,
+            "average_client_round_kilobytes": self.average_client_round_kilobytes,
+        }
+
+
+@dataclass(frozen=True)
+class PrivacySummary:
+    """Top Guess Attack audit of the final round's uploads (Table V)."""
+
+    mean_f1: float
+    guess_ratio: float
+    num_clients: int
+
+    @classmethod
+    def from_report(cls, report) -> "PrivacySummary":
+        return cls(
+            mean_f1=report.mean_f1,
+            guess_ratio=report.guess_ratio,
+            num_clients=report.num_clients,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mean_f1": self.mean_f1,
+            "guess_ratio": self.guess_ratio,
+            "num_clients": self.num_clients,
+        }
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one experiment produced, identically shaped per trainer."""
+
+    trainer: str
+    spec: ExperimentSpec
+    rounds_completed: int
+    history: List[RoundRecord]
+    final: RankingResult
+    communication: CommunicationSummary
+    privacy: Optional[PrivacySummary]
+    duration_seconds: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe nested dict (the schema is identical for all trainers)."""
+        return {
+            "trainer": self.trainer,
+            "spec": self.spec.to_dict(),
+            "rounds_completed": self.rounds_completed,
+            "history": [record.to_dict() for record in self.history],
+            "final": {
+                **self.final.as_dict(),
+                "k": self.final.k,
+                "num_users_evaluated": self.final.num_users_evaluated,
+            },
+            "communication": self.communication.to_dict(),
+            "privacy": self.privacy.to_dict() if self.privacy is not None else None,
+            "duration_seconds": self.duration_seconds,
+        }
+
+    def metric_series(self, name: str) -> List[float]:
+        """The per-round values of one logged metric (rounds that have it)."""
+        return [
+            record.metrics[name] for record in self.history if name in record.metrics
+        ]

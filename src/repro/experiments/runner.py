@@ -1,0 +1,97 @@
+"""The single entry point: ``repro.run(spec)`` for any training paradigm."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+from repro.data.dataset import InteractionDataset
+from repro.data.synthetic import debug_dataset
+from repro.experiments.callbacks import Callback, EvalEveryK, ProgressLogger
+from repro.experiments.registry import get_trainer
+from repro.experiments.result import RoundRecord, RunResult
+from repro.experiments.spec import ExperimentSpec
+from repro.utils.rng import RngFactory
+
+
+class _HistoryRecorder(Callback):
+    """Internal callback that snapshots every round's logs for the result."""
+
+    def __init__(self):
+        self.records = []
+
+    def on_fit_start(self, trainer) -> None:
+        self.records = []
+
+    def on_round_end(self, trainer, round_index: int, logs: Dict[str, float]) -> None:
+        self.records.append(RoundRecord(round_index, dict(logs)))
+
+
+def run(
+    spec: Union[ExperimentSpec, Mapping],
+    dataset: Optional[InteractionDataset] = None,
+    callbacks: Sequence[Callback] = (),
+) -> RunResult:
+    """Run one experiment end-to-end and return its :class:`RunResult`.
+
+    ``spec`` may be an :class:`ExperimentSpec` or an equivalent nested
+    mapping (as produced by ``ExperimentSpec.to_dict``).  ``dataset``
+    defaults to a small synthetic debug dataset seeded from ``spec.seed``,
+    so a bare ``repro.run(ExperimentSpec(trainer="ptf"))`` is a complete,
+    reproducible smoke experiment.
+
+    The runner wires the spec-driven built-in callbacks (evaluation every
+    ``spec.evaluation.every`` rounds, progress logging when
+    ``spec.evaluation.verbose``), then the caller's ``callbacks``, and
+    finally the history recorder — so user callbacks observe any metrics
+    the evaluation callback logged, and the recorded history includes
+    everything.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        spec = ExperimentSpec.from_dict(spec)
+    factory = get_trainer(spec.trainer)
+    if dataset is None:
+        dataset = debug_dataset(RngFactory(spec.seed).spawn("experiment-data"))
+
+    adapter = factory(spec, dataset)
+
+    recorder = _HistoryRecorder()
+    wired = []
+    auto_eval = None
+    if spec.evaluation.every > 0:
+        auto_eval = EvalEveryK(
+            every=spec.evaluation.every,
+            k=spec.evaluation.k,
+            max_users=spec.evaluation.max_users,
+        )
+        wired.append(auto_eval)
+    wired.extend(callbacks)
+    if spec.evaluation.verbose:
+        wired.append(ProgressLogger(prefix=f"[{spec.trainer}] "))
+    wired.append(recorder)
+
+    start = time.perf_counter()
+    adapter.fit(callbacks=wired)
+    duration = time.perf_counter() - start
+
+    rounds_completed = adapter.rounds_completed()
+    # Reuse the in-training evaluation when it already covered the last
+    # round — the full-ranking pass is the most expensive step of a run.
+    final = None
+    if auto_eval is not None and auto_eval.history:
+        last_round, last_result = auto_eval.history[-1]
+        if last_round == rounds_completed - 1:
+            final = last_result
+    if final is None:
+        final = adapter.evaluate()
+
+    return RunResult(
+        trainer=spec.trainer,
+        spec=spec,
+        rounds_completed=rounds_completed,
+        history=recorder.records,
+        final=final,
+        communication=adapter.communication_summary(),
+        privacy=adapter.privacy_summary(),
+        duration_seconds=duration,
+    )

@@ -1,0 +1,373 @@
+"""Composable experiment specification — the canonical configuration API.
+
+An :class:`ExperimentSpec` describes one training run in any paradigm:
+PTF-FedRec itself, the parameter-transmission baselines (FCF, FedMF,
+MetaMF), or centralized training.  It is assembled from small sections so
+that sweeps can override one concern without re-stating the others:
+
+* :class:`ModelSpec` — which architectures the client and server run,
+* :class:`ProtocolSpec` — rounds, epochs, batching and learning rates,
+* :class:`PrivacySpec` — the upload defense (Section III-B2) and audit,
+* :class:`DispersalSpec` — the server's dispersed dataset ``D̃_i`` (Eq. 9),
+* :class:`EvalSpec` — ranking depth and in-training evaluation cadence.
+
+Every spec round-trips losslessly through ``to_dict``/``from_dict`` and
+JSON, validates its fields on construction, and names the trainer that
+:func:`repro.run` should dispatch to (see
+:mod:`repro.experiments.registry`).
+
+The legacy monolithic :class:`repro.core.config.PTFConfig` is retained as
+a deprecated shim whose :meth:`~repro.core.config.PTFConfig.to_spec`
+produces the equivalent ``ExperimentSpec``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple, Type
+
+from repro.core.config import DEFENSE_MODES, DISPERSAL_MODES
+
+
+def _as_int_tuple(value) -> Tuple[int, ...]:
+    return tuple(int(v) for v in value)
+
+
+def _as_float_pair(value) -> Tuple[float, float]:
+    pair = tuple(float(v) for v in value)
+    if len(pair) != 2:
+        raise ValueError(f"expected a (low, high) pair, got {value!r}")
+    return pair
+
+
+@dataclass
+class ModelSpec:
+    """Which architectures the participants run.
+
+    ``client_model`` is the public on-device model (the paper fixes NeuMF);
+    ``server_model`` is the provider's hidden model for PTF-FedRec and the
+    trained model for centralized runs.  The parameter-transmission
+    baselines carry their architecture in the trainer name and only read
+    ``embedding_dim``.
+    """
+
+    client_model: str = "neumf"
+    server_model: str = "ngcf"
+    embedding_dim: int = 32
+    client_mlp_layers: Tuple[int, ...] = (64, 32, 16)
+    server_num_layers: int = 3
+
+    def __post_init__(self) -> None:
+        self.client_mlp_layers = _as_int_tuple(self.client_mlp_layers)
+        if not self.client_model or not isinstance(self.client_model, str):
+            raise ValueError(f"client_model must be a non-empty string, got {self.client_model!r}")
+        if not self.server_model or not isinstance(self.server_model, str):
+            raise ValueError(f"server_model must be a non-empty string, got {self.server_model!r}")
+        if self.embedding_dim <= 0:
+            raise ValueError(f"embedding_dim must be positive, got {self.embedding_dim}")
+        if self.server_num_layers <= 0:
+            raise ValueError(f"server_num_layers must be positive, got {self.server_num_layers}")
+        if any(width <= 0 for width in self.client_mlp_layers):
+            raise ValueError(f"client_mlp_layers must be positive, got {self.client_mlp_layers}")
+
+    def server_model_kwargs(self) -> Dict[str, Any]:
+        """Extra ``create_model`` kwargs the server architecture needs.
+
+        Single source of the per-architecture special cases (graph models
+        take ``num_layers``, NeuMF takes ``mlp_layers``), shared by the PTF
+        server and the centralized trainer adapter.
+        """
+        name = self.server_model.lower()
+        kwargs: Dict[str, Any] = {}
+        if name in ("ngcf", "lightgcn"):
+            kwargs["num_layers"] = self.server_num_layers
+        if name == "neumf":
+            kwargs["mlp_layers"] = self.client_mlp_layers
+        return kwargs
+
+
+@dataclass
+class ProtocolSpec:
+    """Round structure, batching and optimization across all paradigms.
+
+    ``rounds`` is the number of global rounds for the federated trainers
+    and the number of epochs for centralized training, so per-round metric
+    histories line up across paradigms.  ``local_learning_rate`` and
+    ``l2_weight`` only matter for the parameter-transmission baselines and
+    centralized training respectively.
+    """
+
+    rounds: int = 20
+    client_fraction: float = 1.0
+    client_local_epochs: int = 5
+    server_epochs: int = 2
+    client_batch_size: int = 64
+    server_batch_size: int = 1024
+    learning_rate: float = 0.001
+    local_learning_rate: float = 0.05
+    negative_ratio: int = 4
+    l2_weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ValueError(f"rounds must be positive, got {self.rounds}")
+        if not 0.0 < self.client_fraction <= 1.0:
+            raise ValueError(f"client_fraction must be in (0, 1], got {self.client_fraction}")
+        # Zero epochs are allowed (the corresponding training leg is simply
+        # skipped — a supported ablation the pre-spec config also accepted).
+        if self.client_local_epochs < 0:
+            raise ValueError(
+                f"client_local_epochs must be non-negative, got {self.client_local_epochs}"
+            )
+        if self.server_epochs < 0:
+            raise ValueError(f"server_epochs must be non-negative, got {self.server_epochs}")
+        if self.client_batch_size <= 0:
+            raise ValueError(f"client_batch_size must be positive, got {self.client_batch_size}")
+        if self.server_batch_size <= 0:
+            raise ValueError(f"server_batch_size must be positive, got {self.server_batch_size}")
+        if self.learning_rate <= 0.0:
+            raise ValueError(f"learning_rate must be positive, got {self.learning_rate}")
+        if self.local_learning_rate <= 0.0:
+            raise ValueError(
+                f"local_learning_rate must be positive, got {self.local_learning_rate}"
+            )
+        if self.negative_ratio < 1:
+            raise ValueError(f"negative_ratio must be >= 1, got {self.negative_ratio}")
+        if self.l2_weight < 0.0:
+            raise ValueError(f"l2_weight must be non-negative, got {self.l2_weight}")
+
+
+@dataclass
+class PrivacySpec:
+    """The client-side upload defense and the privacy audit settings."""
+
+    defense: str = "sampling+swapping"
+    beta_range: Tuple[float, float] = (0.1, 1.0)
+    gamma_range: Tuple[float, float] = (1.0, 4.0)
+    swap_rate: float = 0.1
+    ldp_scale: float = 0.2
+    audit_guess_ratio: float = 0.2
+
+    def __post_init__(self) -> None:
+        self.beta_range = _as_float_pair(self.beta_range)
+        self.gamma_range = _as_float_pair(self.gamma_range)
+        if self.defense not in DEFENSE_MODES:
+            raise ValueError(f"defense must be one of {DEFENSE_MODES}, got {self.defense!r}")
+        if not 0.0 <= self.swap_rate <= 1.0:
+            raise ValueError(f"swap_rate must be in [0, 1], got {self.swap_rate}")
+        low, high = self.beta_range
+        if not 0.0 < low <= high <= 1.0:
+            raise ValueError(f"beta_range must satisfy 0 < low <= high <= 1, got {self.beta_range}")
+        low, high = self.gamma_range
+        if not 0.0 < low <= high:
+            raise ValueError(f"gamma_range must satisfy 0 < low <= high, got {self.gamma_range}")
+        if self.ldp_scale < 0:
+            raise ValueError(f"ldp_scale must be non-negative, got {self.ldp_scale}")
+        if not 0.0 < self.audit_guess_ratio <= 1.0:
+            raise ValueError(
+                f"audit_guess_ratio must be in (0, 1], got {self.audit_guess_ratio}"
+            )
+
+
+@dataclass
+class DispersalSpec:
+    """The server-dispersed dataset ``D̃_i`` (paper Section III-B3)."""
+
+    alpha: int = 30
+    mu: float = 0.5
+    mode: str = "confidence+hard"
+    graph_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if not 0.0 <= self.mu <= 1.0:
+            raise ValueError(f"mu must be in [0, 1], got {self.mu}")
+        if self.mode not in DISPERSAL_MODES:
+            raise ValueError(f"dispersal_mode must be one of {DISPERSAL_MODES}, got {self.mode!r}")
+        if not 0.0 <= self.graph_threshold <= 1.0:
+            raise ValueError(f"graph_threshold must be in [0, 1], got {self.graph_threshold}")
+
+
+@dataclass
+class EvalSpec:
+    """Ranking evaluation depth and in-training evaluation cadence.
+
+    ``every`` > 0 evaluates the model every that-many rounds during
+    training (via the :class:`~repro.experiments.callbacks.EvalEveryK`
+    callback) so the per-round history carries ranking metrics; 0 only
+    evaluates once after training.  ``verbose`` attaches a progress logger.
+    """
+
+    k: int = 20
+    max_users: Optional[int] = None
+    every: int = 0
+    audit_privacy: bool = True
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if self.max_users is not None and self.max_users <= 0:
+            raise ValueError(f"max_users must be positive or None, got {self.max_users}")
+        if self.every < 0:
+            raise ValueError(f"every must be non-negative, got {self.every}")
+
+
+_SECTION_TYPES: Dict[str, type] = {
+    "model": ModelSpec,
+    "protocol": ProtocolSpec,
+    "privacy": PrivacySpec,
+    "dispersal": DispersalSpec,
+    "evaluation": EvalSpec,
+}
+
+#: Flat field name -> (section name, attribute name).  Lets callers (and the
+#: PTFConfig shim) address any spec field without spelling out the section.
+_FLAT_FIELDS: Dict[str, Tuple[str, str]] = {
+    f.name: (section, f.name)
+    for section, section_cls in _SECTION_TYPES.items()
+    for f in fields(section_cls)
+}
+_FLAT_FIELDS["dispersal_mode"] = ("dispersal", "mode")  # legacy PTFConfig name
+
+
+def _section_from_dict(section_cls: type, data: Mapping[str, Any]):
+    known = {f.name for f in fields(section_cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {section_cls.__name__} fields {unknown}; known fields: {sorted(known)}"
+        )
+    return section_cls(**dict(data))
+
+
+def _jsonify(value):
+    if isinstance(value, tuple):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def _section_to_dict(section) -> Dict[str, Any]:
+    return {f.name: _jsonify(getattr(section, f.name)) for f in fields(section)}
+
+
+@dataclass
+class ExperimentSpec:
+    """One fully described experiment: a trainer name plus config sections.
+
+    ``trainer`` selects the paradigm from the trainer registry (``"ptf"``,
+    ``"fcf"``, ``"fedmf"``, ``"metamf"``, ``"centralized"``, or anything
+    registered with :func:`repro.experiments.register_trainer`).  Sections
+    may be given as instances or plain dicts::
+
+        spec = ExperimentSpec(trainer="ptf", model={"embedding_dim": 16})
+        repro.run(spec, dataset)
+    """
+
+    trainer: str = "ptf"
+    seed: int = 0
+    model: ModelSpec = field(default_factory=ModelSpec)
+    protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
+    privacy: PrivacySpec = field(default_factory=PrivacySpec)
+    dispersal: DispersalSpec = field(default_factory=DispersalSpec)
+    evaluation: EvalSpec = field(default_factory=EvalSpec)
+
+    def __post_init__(self) -> None:
+        for name, section_cls in _SECTION_TYPES.items():
+            value = getattr(self, name)
+            if isinstance(value, Mapping):
+                setattr(self, name, _section_from_dict(section_cls, value))
+            elif not isinstance(value, section_cls):
+                raise ValueError(
+                    f"{name} must be a {section_cls.__name__} or a mapping, got {type(value).__name__}"
+                )
+        if not isinstance(self.trainer, str) or not self.trainer:
+            raise ValueError(f"trainer must be a non-empty string, got {self.trainer!r}")
+        from repro.experiments.registry import available_trainers, is_registered
+
+        if not is_registered(self.trainer):
+            raise ValueError(
+                f"unknown trainer {self.trainer!r}; registered trainers: {available_trainers()}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_flat(cls, trainer: str = "ptf", seed: int = 0, **overrides) -> "ExperimentSpec":
+        """Build a spec from flat field names (``alpha=30, defense="ldp"``).
+
+        Every section field can be addressed by its bare name; the legacy
+        ``dispersal_mode`` alias maps to ``dispersal.mode``.  This is the
+        conversion path for :meth:`repro.core.config.PTFConfig.to_spec` and
+        a convenient way to write sweeps over a handful of fields.
+        """
+        sections: Dict[str, Dict[str, Any]] = {name: {} for name in _SECTION_TYPES}
+        for key, value in overrides.items():
+            target = _FLAT_FIELDS.get(key)
+            if target is None:
+                raise ValueError(
+                    f"unknown experiment field {key!r}; known fields: {sorted(_FLAT_FIELDS)}"
+                )
+            section, attr = target
+            sections[section][attr] = value
+        return cls(trainer=trainer, seed=seed, **{
+            name: _section_from_dict(section_cls, sections[name])
+            for name, section_cls in _SECTION_TYPES.items()
+        })
+
+    def replace(self, **flat_overrides) -> "ExperimentSpec":
+        """Return a copy with flat field overrides applied (sweep helper)."""
+        data = self.to_dict()
+        for key, value in flat_overrides.items():
+            if key in ("trainer", "seed"):
+                data[key] = value
+                continue
+            target = _FLAT_FIELDS.get(key)
+            if target is None:
+                raise ValueError(
+                    f"unknown experiment field {key!r}; known fields: {sorted(_FLAT_FIELDS)}"
+                )
+            section, attr = target
+            data[section][attr] = _jsonify(value)
+        return ExperimentSpec.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested, JSON-safe dict representation (tuples become lists)."""
+        data: Dict[str, Any] = {"trainer": self.trainer, "seed": self.seed}
+        for name in _SECTION_TYPES:
+            data[name] = _section_to_dict(getattr(self, name))
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`; rejects unknown keys with ValueError."""
+        remaining = dict(data)
+        kwargs: Dict[str, Any] = {}
+        for name, section_cls in _SECTION_TYPES.items():
+            if name in remaining:
+                kwargs[name] = _section_from_dict(section_cls, remaining.pop(name))
+        for name in ("trainer", "seed"):
+            if name in remaining:
+                kwargs[name] = remaining.pop(name)
+        if remaining:
+            raise ValueError(
+                f"unknown ExperimentSpec fields {sorted(remaining)}; "
+                f"known: ['trainer', 'seed'] + {sorted(_SECTION_TYPES)}"
+            )
+        return cls(**kwargs)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize to a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))

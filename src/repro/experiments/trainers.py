@@ -1,0 +1,182 @@
+"""Adapters that put every training paradigm behind one interface.
+
+Each adapter builds its underlying system from an
+:class:`~repro.experiments.spec.ExperimentSpec`, drives it through the
+shared callback-aware ``fit`` loop, and exposes the uniform accessors
+``repro.run`` needs to assemble a :class:`~repro.experiments.result.RunResult`.
+
+Spec-to-paradigm field mapping:
+
+==================  =====================================================
+trainer             reads
+==================  =====================================================
+``ptf``             every section (the full protocol)
+``fcf`` / ``fedmf`` ``protocol.rounds``, ``client_local_epochs`` (local
+/ ``metamf``        epochs), ``local_learning_rate``, ``client_batch_size``,
+                    ``client_fraction``, ``negative_ratio``,
+                    ``model.embedding_dim``, ``seed``
+``centralized``     ``model.server_model`` (the trained architecture),
+                    ``protocol.rounds`` (epochs), ``server_batch_size``,
+                    ``learning_rate``, ``negative_ratio``, ``l2_weight``,
+                    ``seed``
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.centralized.trainer import CentralizedConfig, CentralizedTrainer
+from repro.core.protocol import PTFFedRec
+from repro.data.dataset import InteractionDataset
+from repro.eval.ranking import RankingResult
+from repro.experiments.registry import register_trainer
+from repro.experiments.result import CommunicationSummary, PrivacySummary
+from repro.experiments.spec import ExperimentSpec
+from repro.federated.base import FederatedConfig
+from repro.federated.fcf import FCF
+from repro.federated.fedmf import FedMF
+from repro.federated.metamf import MetaMF
+from repro.models.factory import create_model
+from repro.utils.rng import RngFactory
+
+
+class TrainerAdapter:
+    """Uniform facade over one training paradigm.
+
+    Subclasses implement :meth:`_build` (spec + dataset -> system) and
+    :meth:`rounds_completed`; the rest of the interface is shared.
+    """
+
+    name: str = ""
+
+    def __init__(self, spec: ExperimentSpec, dataset: InteractionDataset):
+        self.spec = spec
+        self.dataset = dataset
+        self.system = self._build()
+
+    def _build(self):
+        raise NotImplementedError
+
+    def fit(self, callbacks: Sequence = ()) -> "TrainerAdapter":
+        """Run the paradigm's full training loop with the shared hooks."""
+        self.system.fit(callbacks=callbacks)
+        return self
+
+    def evaluate(self, k: Optional[int] = None, max_users: Optional[int] = None) -> RankingResult:
+        """Ranking metrics with the spec's evaluation settings as defaults."""
+        evaluation = self.spec.evaluation
+        return self.system.evaluate(
+            k=k if k is not None else evaluation.k,
+            max_users=max_users if max_users is not None else evaluation.max_users,
+        )
+
+    def rounds_completed(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def ledger(self):
+        """The communication ledger, or None for ledger-free paradigms."""
+        return getattr(self.system, "ledger", None)
+
+    def communication_summary(self) -> CommunicationSummary:
+        return CommunicationSummary.from_ledger(self.ledger)
+
+    def privacy_summary(self) -> Optional[PrivacySummary]:
+        """Privacy audit of the final uploads; None when not applicable."""
+        return None
+
+
+@register_trainer("ptf")
+class PTFTrainer(TrainerAdapter):
+    """PTF-FedRec itself: the paper's parameter transmission-free protocol."""
+
+    name = "ptf"
+
+    def _build(self) -> PTFFedRec:
+        return PTFFedRec(self.dataset, self.spec)
+
+    def rounds_completed(self) -> int:
+        return len(self.system.round_summaries)
+
+    def privacy_summary(self) -> Optional[PrivacySummary]:
+        if not self.spec.evaluation.audit_privacy:
+            return None
+        report = self.system.audit_privacy(guess_ratio=self.spec.privacy.audit_guess_ratio)
+        return PrivacySummary.from_report(report)
+
+
+class _ParameterTransmissionTrainer(TrainerAdapter):
+    """Shared adapter for the FedAvg-style baselines (FCF/FedMF/MetaMF)."""
+
+    system_cls = None
+
+    def _build(self):
+        spec = self.spec
+        config = FederatedConfig(
+            rounds=spec.protocol.rounds,
+            local_epochs=spec.protocol.client_local_epochs,
+            local_learning_rate=spec.protocol.local_learning_rate,
+            embedding_dim=spec.model.embedding_dim,
+            negative_ratio=spec.protocol.negative_ratio,
+            batch_size=spec.protocol.client_batch_size,
+            client_fraction=spec.protocol.client_fraction,
+            seed=spec.seed,
+        )
+        return self.system_cls(self.dataset, config)
+
+    def rounds_completed(self) -> int:
+        return self.system.rounds_completed
+
+
+@register_trainer("fcf")
+class FCFTrainer(_ParameterTransmissionTrainer):
+    name = "fcf"
+    system_cls = FCF
+
+
+@register_trainer("fedmf")
+class FedMFTrainer(_ParameterTransmissionTrainer):
+    name = "fedmf"
+    system_cls = FedMF
+
+
+@register_trainer("metamf")
+class MetaMFTrainer(_ParameterTransmissionTrainer):
+    name = "metamf"
+    system_cls = MetaMF
+
+
+@register_trainer("centralized")
+class CentralizedTrainerAdapter(TrainerAdapter):
+    """Centralized training of ``model.server_model`` on the full dataset.
+
+    One "round" is one training epoch, so per-round histories line up with
+    the federated paradigms.
+    """
+
+    name = "centralized"
+
+    def _build(self) -> CentralizedTrainer:
+        spec = self.spec
+        kwargs = spec.model.server_model_kwargs()
+        model = create_model(
+            spec.model.server_model,
+            num_users=self.dataset.num_users,
+            num_items=self.dataset.num_items,
+            embedding_dim=spec.model.embedding_dim,
+            rng=RngFactory(spec.seed).spawn("centralized-model"),
+            **kwargs,
+        )
+        config = CentralizedConfig(
+            epochs=spec.protocol.rounds,
+            batch_size=spec.protocol.server_batch_size,
+            learning_rate=spec.protocol.learning_rate,
+            negative_ratio=spec.protocol.negative_ratio,
+            l2_weight=spec.protocol.l2_weight,
+            seed=spec.seed,
+        )
+        return CentralizedTrainer(model, self.dataset, config)
+
+    def rounds_completed(self) -> int:
+        return len(self.system.loss_history)

@@ -19,9 +19,12 @@ legs for the communication ledger.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.callbacks import Callback
 
 from repro.data.dataset import InteractionDataset
 from repro.data.sampling import UserBatchSampler
@@ -114,11 +117,11 @@ class ParameterTransmissionFedRec:
             if name in self._public_names:
                 parameter.data = state[name].copy()
 
-    def _local_training(self, user: int, round_index: int) -> None:
-        """Run the client's local epochs on its private data."""
+    def _local_training(self, user: int, round_index: int) -> float:
+        """Run the client's local epochs; returns the mean batch loss."""
         positives = self.dataset.train_items(user)
         if positives.size == 0:
-            return
+            return 0.0
         rng = self._rngs.spawn_indexed("local-sampling", user * 100_003 + round_index)
         sampler = UserBatchSampler(
             num_items=self.dataset.num_items,
@@ -129,6 +132,8 @@ class ParameterTransmissionFedRec:
         )
         optimizer = SGD(self.model.parameters(), lr=self.config.local_learning_rate)
         self.model.train()
+        total_loss = 0.0
+        batches = 0
         for _ in range(self.config.local_epochs):
             for items, labels in sampler.epoch():
                 users = np.full(len(items), user, dtype=np.int64)
@@ -137,8 +142,11 @@ class ParameterTransmissionFedRec:
                 optimizer.zero_grad()
                 loss.backward()
                 optimizer.step()
+                total_loss += loss.item()
+                batches += 1
+        return total_loss / max(batches, 1)
 
-    def run_round(self, round_index: int) -> None:
+    def run_round(self, round_index: int) -> Dict[str, float]:
         """Execute one full federated round.
 
         Aggregation is coordinate-wise federated averaging over the clients
@@ -154,11 +162,12 @@ class ParameterTransmissionFedRec:
         download_bytes = self._download_bytes()
         upload_bytes = self._upload_bytes()
 
+        client_losses: List[float] = []
         for user in selected:
             self.ledger.record(round_index, user, "download", download_bytes,
                                description=f"{self.name} public parameters")
             self._load_public_state(global_state)
-            self._local_training(user, round_index)
+            client_losses.append(self._local_training(user, round_index))
             updated = self._public_state()
             for name in delta_sum:
                 delta = updated[name] - global_state[name]
@@ -173,12 +182,34 @@ class ParameterTransmissionFedRec:
             new_state[name] = base + delta_sum[name] / count
         self._load_public_state(new_state)
         self.rounds_completed += 1
+        return {
+            "num_clients": len(selected),
+            "client_loss": float(np.mean(client_losses)) if client_losses else 0.0,
+        }
 
-    def fit(self, rounds: Optional[int] = None) -> "ParameterTransmissionFedRec":
-        """Run the configured number of federated rounds."""
+    def fit(
+        self,
+        rounds: Optional[int] = None,
+        callbacks: Optional[Sequence["Callback"]] = None,
+    ) -> "ParameterTransmissionFedRec":
+        """Run the configured number of federated rounds.
+
+        ``callbacks`` receive the shared training hooks and may stop the
+        run early (see :mod:`repro.experiments.callbacks`).
+        """
+        from repro.experiments.callbacks import CallbackList
+
+        hooks = CallbackList(callbacks)
         total = rounds if rounds is not None else self.config.rounds
-        for round_index in range(total):
-            self.run_round(round_index)
+        start = self.rounds_completed
+        hooks.on_fit_start(self)
+        for round_index in range(start, start + total):
+            hooks.on_round_start(self, round_index)
+            logs = self.run_round(round_index)
+            hooks.on_round_end(self, round_index, logs)
+            if hooks.should_stop:
+                break
+        hooks.on_fit_end(self)
         return self
 
     # ------------------------------------------------------------------
