@@ -14,6 +14,9 @@ Recommender System" (ICDE 2024).  The package is organised bottom-up:
   (FCF, FedMF, MetaMF) with byte-level communication accounting,
 * :mod:`repro.core` — PTF-FedRec itself: clients, server, the
   prediction-exchange protocol, privacy defenses and the Top Guess Attack,
+* :mod:`repro.engine` — the client-simulation execution engine: serial,
+  batched (vectorized) and multiprocess schedulers for the per-round
+  client work, all bit-identical on a fixed seed,
 * :mod:`repro.experiments` — the unified experiment API: a sectioned
   :class:`ExperimentSpec`, a trainer registry covering every paradigm
   (``"ptf"``, ``"fcf"``, ``"fedmf"``, ``"metamf"``, ``"centralized"``),
@@ -43,6 +46,7 @@ works; ``PTFConfig`` is deprecated and converts to an ``ExperimentSpec``.
 from repro import (
     core,
     data,
+    engine,
     eval,
     experiments,
     federated,
@@ -53,6 +57,7 @@ from repro import (
     utils,
 )
 from repro.core import PTFConfig, PTFFedRec
+from repro.engine import EngineSpec
 from repro.experiments import ExperimentSpec, RunResult, register_trainer, run
 
 __version__ = "1.1.0"
@@ -60,6 +65,7 @@ __version__ = "1.1.0"
 __all__ = [
     "core",
     "data",
+    "engine",
     "eval",
     "experiments",
     "federated",
@@ -70,6 +76,7 @@ __all__ = [
     "utils",
     "PTFConfig",
     "PTFFedRec",
+    "EngineSpec",
     "ExperimentSpec",
     "RunResult",
     "register_trainer",

@@ -18,11 +18,12 @@ on a device.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
 from repro.core.config import PTFConfig, ensure_spec, legacy_config_view
+from repro.engine.batch import ClientTrainingPlan
 from repro.core.privacy import apply_defense, sample_upload_items
 from repro.data.sampling import UserBatchSampler, sample_negative_items
 from repro.models.base import Recommender
@@ -104,10 +105,19 @@ class PTFClient:
     # ------------------------------------------------------------------
     # Local training (Eq. 3)
     # ------------------------------------------------------------------
-    def local_train(self, round_index: int) -> float:
-        """Train the local model on ``D_i ∪ D̃_i``; returns the mean loss."""
+    def training_plan(self, round_index: int) -> Optional[ClientTrainingPlan]:
+        """Materialize this round's local-training batches, or ``None``.
+
+        The plan draws every epoch's negatives and shuffles from the
+        client's dedicated RNG stream in exactly the order the fit loop
+        consumes them (model updates draw no randomness, so materializing
+        up front cannot perturb any stream).  The execution engine stacks
+        equally shaped plans across clients and runs them as one
+        vectorized cohort; clients with no positive interactions have no
+        work and return ``None``.
+        """
         if self.positive_items.size == 0:
-            return 0.0
+            return None
         protocol = self.spec.protocol
         rng = self._rngs.spawn_indexed("client-training", self.user_id * 1_000_003 + round_index)
         sampler = UserBatchSampler(
@@ -117,11 +127,22 @@ class PTFClient:
             batch_size=protocol.client_batch_size,
             rng=rng,
         )
+        epochs = [
+            list(sampler.epoch(self.server_items, self.server_scores))
+            for _ in range(protocol.client_local_epochs)
+        ]
+        return ClientTrainingPlan(user_id=self.user_id, epochs=epochs)
+
+    def local_train(self, round_index: int) -> float:
+        """Train the local model on ``D_i ∪ D̃_i``; returns the mean loss."""
+        plan = self.training_plan(round_index)
+        if plan is None:
+            return 0.0
         self.model.train()
         total_loss = 0.0
         batches = 0
-        for _ in range(protocol.client_local_epochs):
-            for items, labels in sampler.epoch(self.server_items, self.server_scores):
+        for epoch_batches in plan.epochs:
+            for items, labels in epoch_batches:
                 users = np.zeros(len(items), dtype=np.int64)
                 predictions = self.model.score(users, items)
                 loss = self.loss_fn(predictions, labels)

@@ -12,6 +12,7 @@ from repro.core.client import ClientUpload, PTFClient
 from repro.core.config import PTFConfig, ensure_spec, legacy_config_view
 from repro.core.server import PTFServer
 from repro.data.dataset import InteractionDataset
+from repro.engine import create_scheduler
 from repro.eval.ranking import RankingEvaluator, RankingResult
 from repro.federated.communication import CommunicationLedger, prediction_triple_bytes
 from repro.utils.rng import RngFactory
@@ -54,7 +55,9 @@ class PTFFedRec:
 
     Configured by a :class:`repro.experiments.ExperimentSpec` (a legacy
     :class:`PTFConfig` is accepted and converted; ``None`` uses the paper's
-    defaults).
+    defaults).  The spec's ``engine`` section chooses how the per-round
+    client work is executed (serial reference loop, vectorized batches, or
+    worker processes); all schedulers are bit-identical on a fixed seed.
     """
 
     name = "PTF-FedRec"
@@ -68,6 +71,7 @@ class PTFFedRec:
         self.spec = ensure_spec(config)
         self._rngs = RngFactory(self.spec.seed)
         self.ledger = CommunicationLedger()
+        self.engine = create_scheduler(self.spec.engine)
 
         self.server = PTFServer(
             dataset.num_users, dataset.num_items, self.spec, self._rngs
@@ -102,19 +106,22 @@ class PTFFedRec:
         return sorted(rng.choice(users, size=count, replace=False).tolist())
 
     def run_round(self, round_index: int) -> RoundSummary:
-        """Execute one global round and return its summary."""
+        """Execute one global round and return its summary.
+
+        The client-side work (local training, upload construction, and the
+        consumption of the server's dispersal fan-out) runs through the
+        configured execution engine; the scheduler choice never changes the
+        numbers, only how fast they are produced.
+        """
         selected = self._select_clients(round_index)
 
-        uploads: List[ClientUpload] = []
-        client_losses: List[float] = []
-        for user in selected:
-            client = self.clients[user]
-            client_losses.append(client.local_train(round_index))
-            upload = client.build_upload(round_index)
-            uploads.append(upload)
+        losses = self.engine.train_ptf_clients(self.clients, selected, round_index)
+        client_losses: List[float] = [losses[user] for user in selected]
+        uploads = self.engine.build_ptf_uploads(self.clients, selected, round_index)
+        for upload in uploads:
             self.ledger.record(
                 round_index,
-                user,
+                upload.user_id,
                 "upload",
                 prediction_triple_bytes(upload.num_records),
                 description="client prediction dataset",
@@ -123,13 +130,13 @@ class PTFFedRec:
         server_loss = self.server.train_on_uploads(uploads, round_index)
 
         dispersed_total = 0
-        for upload in uploads:
-            dispersal = self.server.build_dispersal(upload, round_index)
-            self.clients[upload.user_id].receive_dispersal(dispersal.items, dispersal.scores)
+        dispersals = self.engine.build_ptf_dispersals(self.server, uploads, round_index)
+        for dispersal in dispersals:
+            self.clients[dispersal.user_id].receive_dispersal(dispersal.items, dispersal.scores)
             dispersed_total += dispersal.num_records
             self.ledger.record(
                 round_index,
-                upload.user_id,
+                dispersal.user_id,
                 "download",
                 prediction_triple_bytes(dispersal.num_records),
                 description="server dispersed predictions",

@@ -1,0 +1,417 @@
+"""Execution schedulers: serial, batched (vectorized) and multiprocess.
+
+A :class:`Scheduler` owns *how* one round of client work runs.  The
+protocol drivers (:class:`repro.core.protocol.PTFFedRec` and
+:class:`repro.federated.base.ParameterTransmissionFedRec`) describe the
+round — which clients, which round index, which global state — and the
+scheduler decides execution: one client at a time (:class:`Scheduler`),
+stacked into vectorized tensor ops (:class:`BatchedScheduler`), or fanned
+out to worker processes (:class:`MultiprocessScheduler`).
+
+Every scheduler is bit-identical to the serial reference on a fixed seed:
+client randomness is keyed by ``(seed, component, client, round)`` — never
+by execution order — and the stacked path replays the exact serial
+arithmetic (see :mod:`repro.engine.batch`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.batch import (
+    ClientBatch,
+    ClientTrainingPlan,
+    StackedSGD,
+    stack_models,
+)
+from repro.engine.spec import EngineSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.client import ClientUpload, PTFClient
+    from repro.core.server import DispersedDataset, PTFServer
+
+
+def create_scheduler(spec: Optional[EngineSpec] = None) -> "Scheduler":
+    """Build the scheduler an :class:`EngineSpec` names (default serial)."""
+    spec = spec if spec is not None else EngineSpec()
+    classes = {
+        "serial": Scheduler,
+        "batched": BatchedScheduler,
+        "multiprocess": MultiprocessScheduler,
+    }
+    return classes[spec.scheduler](spec)
+
+
+def _group_plans(
+    plans: Sequence[Tuple[int, ClientTrainingPlan]], max_cohort: int
+) -> List[List[Tuple[int, ClientTrainingPlan]]]:
+    """Group (user, plan) pairs by batch signature, bounded by ``max_cohort``.
+
+    Clients are independent, so grouping/chunking only changes how much
+    work is stacked together — never any result.
+    """
+    buckets: Dict[tuple, List[Tuple[int, ClientTrainingPlan]]] = {}
+    for user, plan in plans:
+        buckets.setdefault(plan.signature, []).append((user, plan))
+    groups: List[List[Tuple[int, ClientTrainingPlan]]] = []
+    for members in buckets.values():
+        for start in range(0, len(members), max_cohort):
+            groups.append(members[start:start + max_cohort])
+    return groups
+
+
+class Scheduler:
+    """Serial reference scheduler: the original one-client-at-a-time loops."""
+
+    name = "serial"
+
+    def __init__(self, spec: Optional[EngineSpec] = None):
+        self.spec = spec if spec is not None else EngineSpec()
+
+    # ------------------------------------------------------------------
+    # PTF-FedRec client phase
+    # ------------------------------------------------------------------
+    def train_ptf_clients(
+        self,
+        clients: Dict[int, "PTFClient"],
+        selected: Sequence[int],
+        round_index: int,
+    ) -> Dict[int, float]:
+        """Run local training for the cohort; returns per-client mean loss.
+
+        May replace entries of ``clients`` with trained equivalents (the
+        multiprocess scheduler round-trips client objects through workers).
+        """
+        return {user: clients[user].local_train(round_index) for user in selected}
+
+    def build_ptf_uploads(
+        self,
+        clients: Dict[int, "PTFClient"],
+        selected: Sequence[int],
+        round_index: int,
+    ) -> List["ClientUpload"]:
+        """Construct the cohort's privacy-protected uploads, in cohort order."""
+        return [clients[user].build_upload(round_index) for user in selected]
+
+    def build_ptf_dispersals(
+        self,
+        server: "PTFServer",
+        uploads: Sequence["ClientUpload"],
+        round_index: int,
+    ) -> List["DispersedDataset"]:
+        """Construct the server's dispersed datasets for every upload."""
+        return [server.build_dispersal(upload, round_index) for upload in uploads]
+
+    # ------------------------------------------------------------------
+    # FedAvg-baseline client phase (FCF / FedMF / MetaMF)
+    # ------------------------------------------------------------------
+    def train_fedavg_clients(
+        self,
+        driver,
+        selected: Sequence[int],
+        round_index: int,
+        global_state: Dict[str, np.ndarray],
+    ) -> Tuple[Dict[int, float], Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+        """Run the cohort's local updates against ``global_state``.
+
+        Returns ``(losses, delta_sum, update_count)`` where the aggregation
+        arrays accumulate per-client public-parameter deltas in cohort
+        order, exactly as the pre-engine sequential loop did.
+        """
+        delta_sum = {name: np.zeros_like(value) for name, value in global_state.items()}
+        update_count = {name: np.zeros_like(value) for name, value in global_state.items()}
+        losses: Dict[int, float] = {}
+        for user in selected:
+            driver._load_public_state(global_state)
+            losses[user] = driver._local_training(user, round_index)
+            updated = driver._public_state()
+            for name in delta_sum:
+                delta = updated[name] - global_state[name]
+                delta_sum[name] += delta
+                update_count[name] += (delta != 0.0)
+        return losses, delta_sum, update_count
+
+
+class BatchedScheduler(Scheduler):
+    """Vectorized scheduler: stacks cohorts into :class:`ClientBatch` runs."""
+
+    name = "batched"
+
+    # -- PTF ------------------------------------------------------------
+    def train_ptf_clients(self, clients, selected, round_index):
+        losses: Dict[int, float] = {}
+        pending: List[Tuple[int, ClientTrainingPlan]] = []
+        for user in selected:
+            plan = clients[user].training_plan(round_index)
+            if plan is None:
+                losses[user] = 0.0
+            else:
+                pending.append((user, plan))
+        for group in _group_plans(pending, self.spec.max_cohort):
+            members = [clients[user] for user, _ in group]
+            batch = ClientBatch.for_ptf_clients(members, [plan for _, plan in group])
+            if batch is None:
+                if self.spec.fallback == "error":
+                    raise NotImplementedError(
+                        f"no stacked implementation for "
+                        f"{type(members[0].model).__name__} client models"
+                    )
+                for user, _ in group:
+                    losses[user] = clients[user].local_train(round_index)
+                continue
+            group_losses = batch.run()
+            batch.writeback()
+            for (user, _), loss in zip(group, group_losses):
+                losses[user] = float(loss)
+        return losses
+
+    # -- FedAvg baselines ------------------------------------------------
+    def train_fedavg_clients(self, driver, selected, round_index, global_state):
+        model = driver.model
+        public_names = driver._public_names
+        private_rows = _private_row_entries(model, public_names, driver.dataset.num_users)
+        if private_rows is None:
+            # A private parameter we cannot row-slice: the serial reference
+            # is the only faithful execution.
+            return super().train_fedavg_clients(
+                driver, selected, round_index, global_state
+            )
+
+        # Honor the global_state argument (don't rely on driver.model already
+        # carrying it): every client must start from these public values.
+        from repro.federated.base import load_public_state
+
+        load_public_state(model, public_names, global_state)
+
+        pending: List[Tuple[int, ClientTrainingPlan]] = []
+        losses: Dict[int, float] = {}
+        for user in selected:
+            plan = driver.local_training_plan(user, round_index)
+            if plan is None:
+                losses[user] = 0.0
+            else:
+                pending.append((user, plan))
+
+        deltas: Dict[int, Dict[str, np.ndarray]] = {}
+        for group in _group_plans(pending, self.spec.max_cohort):
+            users = [user for user, _ in group]
+            stacked = stack_models([model] * len(users), user_rows=users)
+            if stacked is None:
+                if self.spec.fallback == "error":
+                    raise NotImplementedError(
+                        f"no stacked implementation for {type(model).__name__}"
+                    )
+                return super().train_fedavg_clients(
+                    driver, selected, round_index, global_state
+                )
+            optimizer = StackedSGD(
+                stacked.parameters(), lr=driver.config.local_learning_rate
+            )
+            batch = ClientBatch(stacked, optimizer, [plan for _, plan in group])
+            group_losses = batch.run()
+            named = dict(model.named_parameters())
+            for c, user in enumerate(users):
+                losses[user] = float(group_losses[c])
+                values = stacked.export_slice(c)
+                deltas[user] = {
+                    name: values[name] - global_state[name] for name in public_names
+                }
+                # Each client touches only its own user row, so writing the
+                # trained rows back into the shared model reproduces the
+                # serial sequential updates exactly (rows are disjoint).
+                for name, _, kind in stacked.entries:
+                    if name in public_names:
+                        continue
+                    assert kind == "rows"
+                    named[name].data[user] = values[name][0]
+            for attr, embedding in stacked.embeddings.items():
+                table = getattr(model, attr)
+                name = f"{attr}.weight"
+                kind = next(k for n, _, k in stacked.entries if n == name)
+                if kind == "rows":
+                    for c, user in enumerate(users):
+                        table.update_counts[user] += embedding.count_increments[c, 0]
+                else:
+                    table.update_counts += embedding.count_increments.sum(axis=0)
+            model.train()
+
+        # Aggregate public deltas in cohort order (float addition is not
+        # associative; the serial loop's order is the reference).
+        delta_sum = {name: np.zeros_like(value) for name, value in global_state.items()}
+        update_count = {name: np.zeros_like(value) for name, value in global_state.items()}
+        for user in selected:
+            user_deltas = deltas.get(user)
+            if user_deltas is None:
+                continue  # zero-interaction client: exact zero contribution
+            for name in delta_sum:
+                delta = user_deltas[name]
+                delta_sum[name] += delta
+                update_count[name] += (delta != 0.0)
+        return losses, delta_sum, update_count
+
+
+def _private_row_entries(model, public_names, num_users) -> Optional[List[str]]:
+    """Names of private parameters, all of which must be user-row tables.
+
+    Returns ``None`` when some private parameter is not indexed by user
+    (first dimension != ``num_users``) — those couple clients sequentially
+    through shared state and cannot be batched or parallelized faithfully.
+    """
+    names: List[str] = []
+    for name, parameter in model.named_parameters():
+        if name in public_names:
+            continue
+        if parameter.data.shape[0] != num_users:
+            return None
+        names.append(name)
+    return names
+
+
+# ----------------------------------------------------------------------
+# Multiprocess execution
+# ----------------------------------------------------------------------
+def _ptf_worker(payload):
+    clients, round_index = payload
+    results = []
+    for client in clients:
+        loss = client.local_train(round_index)
+        results.append((client.user_id, client, loss))
+    return results
+
+
+def _fedavg_worker(payload):
+    (model, config, seed, public_names, private_names,
+     users, positives, num_items, round_index) = payload
+    from repro.federated.base import fedavg_local_training, load_public_state
+    from repro.utils.rng import RngFactory
+
+    rngs = RngFactory(seed)
+    named = dict(model.named_parameters())
+    # The shipped model carries the round's global public parameters (the
+    # parent loads them before pickling), so reconstructing global_state
+    # here avoids shipping the large public tables twice per worker.
+    global_state = {name: named[name].data.copy() for name in public_names}
+    initial_counts = {
+        attr: table.update_counts.copy() for attr, table in _embedding_tables(model)
+    }
+    results = []
+    for user in users:
+        load_public_state(model, public_names, global_state)
+        loss = fedavg_local_training(
+            model, rngs, config, user, positives[user], num_items, round_index
+        )
+        deltas = {
+            name: named[name].data - global_state[name] for name in public_names
+        }
+        rows = {name: named[name].data[user].copy() for name in private_names}
+        results.append((user, loss, deltas, rows))
+    count_increments = {
+        attr: table.update_counts - initial_counts[attr]
+        for attr, table in _embedding_tables(model)
+    }
+    return results, count_increments
+
+
+def _embedding_tables(model):
+    """Yield ``(attribute, Embedding)`` pairs of a model (duck-typed)."""
+    for attr, module in model._modules.items():
+        if hasattr(module, "update_counts"):
+            yield attr, module
+
+
+class MultiprocessScheduler(Scheduler):
+    """Fans client work out to worker processes.
+
+    Useful when per-client work is heavy enough to amortize shipping client
+    state to workers and back; on small simulations the serial or batched
+    schedulers are usually faster.  Bit-identical to serial: workers run
+    the unmodified per-client code with the same derived RNG streams, and
+    the parent aggregates results in cohort order.
+    """
+
+    name = "multiprocess"
+
+    def _worker_count(self, num_tasks: int) -> int:
+        configured = self.spec.workers or (os.cpu_count() or 1)
+        return max(1, min(configured, num_tasks))
+
+    def _pool(self, workers: int):
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        return context.Pool(workers)
+
+    def train_ptf_clients(self, clients, selected, round_index):
+        workers = self._worker_count(len(selected))
+        if workers <= 1:
+            return super().train_ptf_clients(clients, selected, round_index)
+        chunks = [list(chunk) for chunk in np.array_split(list(selected), workers)
+                  if len(chunk)]
+        payloads = [
+            ([clients[int(user)] for user in chunk], round_index) for chunk in chunks
+        ]
+        with self._pool(len(payloads)) as pool:
+            chunk_results = pool.map(_ptf_worker, payloads)
+        losses: Dict[int, float] = {}
+        for chunk_result in chunk_results:
+            for user, trained_client, loss in chunk_result:
+                clients[user] = trained_client
+                losses[user] = loss
+        return losses
+
+    def train_fedavg_clients(self, driver, selected, round_index, global_state):
+        from repro.federated.base import load_public_state
+
+        workers = self._worker_count(len(selected))
+        private_names = _private_row_entries(
+            driver.model, driver._public_names, driver.dataset.num_users
+        )
+        if workers <= 1 or private_names is None:
+            return super().train_fedavg_clients(
+                driver, selected, round_index, global_state
+            )
+        # Ship global_state inside the model itself (workers reconstruct it
+        # from the public parameters) instead of pickling the tables twice.
+        load_public_state(driver.model, driver._public_names, global_state)
+        chunks = [list(chunk) for chunk in np.array_split(list(selected), workers)
+                  if len(chunk)]
+        payloads = []
+        for chunk in chunks:
+            users = [int(user) for user in chunk]
+            payloads.append((
+                driver.model,
+                driver.config,
+                driver._rngs.seed,
+                set(driver._public_names),
+                list(private_names),
+                users,
+                {user: driver.dataset.train_items(user) for user in users},
+                driver.dataset.num_items,
+                round_index,
+            ))
+        with self._pool(len(payloads)) as pool:
+            chunk_results = pool.map(_fedavg_worker, payloads)
+
+        named = dict(driver.model.named_parameters())
+        tables = dict(_embedding_tables(driver.model))
+        delta_sum = {name: np.zeros_like(value) for name, value in global_state.items()}
+        update_count = {name: np.zeros_like(value) for name, value in global_state.items()}
+        losses: Dict[int, float] = {}
+        for chunk_result, count_increments in chunk_results:
+            for user, loss, deltas, rows in chunk_result:
+                losses[user] = loss
+                for name in delta_sum:
+                    delta = deltas[name]
+                    delta_sum[name] += delta
+                    update_count[name] += (delta != 0.0)
+                for name, row in rows.items():
+                    named[name].data[user] = row
+            for attr, increments in count_increments.items():
+                tables[attr].update_counts += increments
+        driver.model.train()
+        return losses, delta_sum, update_count

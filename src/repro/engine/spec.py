@@ -1,0 +1,72 @@
+"""Configuration for the client-simulation execution engine.
+
+An :class:`EngineSpec` is the ``engine={...}`` section of an
+:class:`~repro.experiments.spec.ExperimentSpec`.  It chooses *how* the
+per-round client work is executed — it never changes *what* is computed:
+every scheduler is bit-identical to the serial reference path on a fixed
+seed, because all client randomness is spawned from
+``(seed, component, client, round)`` and never from execution order.
+
+Example — select the vectorized scheduler and bound cohort memory:
+
+>>> spec = EngineSpec(scheduler="batched", max_cohort=64)
+>>> spec.scheduler
+'batched'
+>>> EngineSpec(scheduler="teleport")
+Traceback (most recent call last):
+    ...
+ValueError: scheduler must be one of ('serial', 'batched', 'multiprocess'), got 'teleport'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: The available execution strategies.  ``"serial"`` is the reference
+#: per-client Python loop; ``"batched"`` stacks the cohort's local training
+#: into vectorized tensor ops (see :mod:`repro.engine.batch`);
+#: ``"multiprocess"`` fans clients out to worker processes.
+SCHEDULER_MODES: Tuple[str, ...] = ("serial", "batched", "multiprocess")
+
+
+@dataclass
+class EngineSpec:
+    """How one round's client work is scheduled and executed.
+
+    ``scheduler``
+        One of :data:`SCHEDULER_MODES`.  All schedulers produce bit-identical
+        results on the same seed; they differ only in speed and footprint.
+    ``max_cohort``
+        Upper bound on how many clients the batched scheduler stacks into a
+        single :class:`~repro.engine.batch.ClientBatch`.  Stacked state costs
+        ``O(max_cohort × model size)`` memory, so lower it for large models
+        and raise it for tiny ones.  Chunking never changes results — clients
+        are independent.
+    ``workers``
+        Worker-process count for the multiprocess scheduler; ``0`` means
+        "use all available cores".
+    ``fallback``
+        What the batched scheduler does with a client model it has no stacked
+        implementation for: ``"serial"`` quietly trains those clients on the
+        reference path, ``"error"`` raises.
+    """
+
+    scheduler: str = "serial"
+    max_cohort: int = 128
+    workers: int = 0
+    fallback: str = "serial"
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in SCHEDULER_MODES:
+            raise ValueError(
+                f"scheduler must be one of {SCHEDULER_MODES}, got {self.scheduler!r}"
+            )
+        if self.max_cohort <= 0:
+            raise ValueError(f"max_cohort must be positive, got {self.max_cohort}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be non-negative, got {self.workers}")
+        if self.fallback not in ("serial", "error"):
+            raise ValueError(
+                f"fallback must be 'serial' or 'error', got {self.fallback!r}"
+            )

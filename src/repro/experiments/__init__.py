@@ -44,6 +44,7 @@ from repro.experiments.result import (
 )
 from repro.experiments.spec import (
     DispersalSpec,
+    EngineSpec,
     EvalSpec,
     ExperimentSpec,
     ModelSpec,
@@ -70,6 +71,7 @@ __all__ = [
     "RoundRecord",
     "RunResult",
     "DispersalSpec",
+    "EngineSpec",
     "EvalSpec",
     "ExperimentSpec",
     "ModelSpec",

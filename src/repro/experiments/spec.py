@@ -9,12 +9,21 @@ that sweeps can override one concern without re-stating the others:
 * :class:`ProtocolSpec` — rounds, epochs, batching and learning rates,
 * :class:`PrivacySpec` — the upload defense (Section III-B2) and audit,
 * :class:`DispersalSpec` — the server's dispersed dataset ``D̃_i`` (Eq. 9),
-* :class:`EvalSpec` — ranking depth and in-training evaluation cadence.
+* :class:`EvalSpec` — ranking depth and in-training evaluation cadence,
+* :class:`~repro.engine.EngineSpec` — *how* the per-round client work is
+  executed (serial / batched / multiprocess); purely a performance choice,
+  since every scheduler is bit-identical on a fixed seed.
 
 Every spec round-trips losslessly through ``to_dict``/``from_dict`` and
 JSON, validates its fields on construction, and names the trainer that
 :func:`repro.run` should dispatch to (see
-:mod:`repro.experiments.registry`).
+:mod:`repro.experiments.registry`):
+
+>>> spec = ExperimentSpec(trainer="ptf", model={"embedding_dim": 16})
+>>> spec.model.embedding_dim
+16
+>>> ExperimentSpec.from_json(spec.to_json()) == spec
+True
 
 The legacy monolithic :class:`repro.core.config.PTFConfig` is retained as
 a deprecated shim whose :meth:`~repro.core.config.PTFConfig.to_spec`
@@ -29,6 +38,7 @@ from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Mapping, Optional, Tuple, Type
 
 from repro.core.config import DEFENSE_MODES, DISPERSAL_MODES
+from repro.engine.spec import EngineSpec
 
 
 def _as_int_tuple(value) -> Tuple[int, ...]:
@@ -222,6 +232,7 @@ _SECTION_TYPES: Dict[str, type] = {
     "privacy": PrivacySpec,
     "dispersal": DispersalSpec,
     "evaluation": EvalSpec,
+    "engine": EngineSpec,
 }
 
 #: Flat field name -> (section name, attribute name).  Lets callers (and the
@@ -261,10 +272,18 @@ class ExperimentSpec:
     ``trainer`` selects the paradigm from the trainer registry (``"ptf"``,
     ``"fcf"``, ``"fedmf"``, ``"metamf"``, ``"centralized"``, or anything
     registered with :func:`repro.experiments.register_trainer`).  Sections
-    may be given as instances or plain dicts::
+    may be given as instances or plain dicts:
 
-        spec = ExperimentSpec(trainer="ptf", model={"embedding_dim": 16})
-        repro.run(spec, dataset)
+    >>> spec = ExperimentSpec(trainer="ptf", model={"embedding_dim": 16},
+    ...                       engine={"scheduler": "batched"})
+    >>> spec.engine.scheduler
+    'batched'
+    >>> spec.replace(alpha=50).dispersal.alpha
+    50
+
+    The ``engine`` section never changes results — all schedulers are
+    bit-identical on a fixed seed — so sweeps may freely mix execution
+    strategies (``repro.run(spec, dataset)`` runs any of them).
     """
 
     trainer: str = "ptf"
@@ -274,6 +293,7 @@ class ExperimentSpec:
     privacy: PrivacySpec = field(default_factory=PrivacySpec)
     dispersal: DispersalSpec = field(default_factory=DispersalSpec)
     evaluation: EvalSpec = field(default_factory=EvalSpec)
+    engine: EngineSpec = field(default_factory=EngineSpec)
 
     def __post_init__(self) -> None:
         for name, section_cls in _SECTION_TYPES.items():

@@ -10,15 +10,16 @@ Spec-to-paradigm field mapping:
 ==================  =====================================================
 trainer             reads
 ==================  =====================================================
-``ptf``             every section (the full protocol)
+``ptf``             every section (the full protocol), including
+                    ``engine`` (execution scheduler)
 ``fcf`` / ``fedmf`` ``protocol.rounds``, ``client_local_epochs`` (local
 / ``metamf``        epochs), ``local_learning_rate``, ``client_batch_size``,
                     ``client_fraction``, ``negative_ratio``,
-                    ``model.embedding_dim``, ``seed``
+                    ``model.embedding_dim``, ``seed``, ``engine``
 ``centralized``     ``model.server_model`` (the trained architecture),
                     ``protocol.rounds`` (epochs), ``server_batch_size``,
                     ``learning_rate``, ``negative_ratio``, ``l2_weight``,
-                    ``seed``
+                    ``seed`` (no per-client work, so ``engine`` is unused)
 ==================  =====================================================
 """
 
@@ -122,6 +123,7 @@ class _ParameterTransmissionTrainer(TrainerAdapter):
             batch_size=spec.protocol.client_batch_size,
             client_fraction=spec.protocol.client_fraction,
             seed=spec.seed,
+            engine=spec.engine,
         )
         return self.system_cls(self.dataset, config)
 

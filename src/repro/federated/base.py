@@ -28,18 +28,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from repro.data.dataset import InteractionDataset
 from repro.data.sampling import UserBatchSampler
+from repro.engine import ClientTrainingPlan, create_scheduler
+from repro.engine.spec import EngineSpec
 from repro.eval.ranking import RankingEvaluator, RankingResult
 from repro.federated.communication import CommunicationLedger
 from repro.models.base import Recommender
 from repro.nn.losses import PointwiseBCELoss
 from repro.optim import SGD
-from repro.tensor import Tensor
 from repro.utils.rng import RngFactory
 
 
 @dataclass
 class FederatedConfig:
-    """Hyper-parameters shared by the parameter-transmission baselines."""
+    """Hyper-parameters shared by the parameter-transmission baselines.
+
+    ``engine`` optionally selects the execution scheduler for the per-round
+    client loop (see :class:`repro.engine.EngineSpec`); ``None`` uses the
+    serial reference path.
+    """
 
     rounds: int = 20
     local_epochs: int = 2
@@ -49,6 +55,7 @@ class FederatedConfig:
     batch_size: int = 64
     client_fraction: float = 1.0
     seed: int = 0
+    engine: Optional[EngineSpec] = None
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -59,6 +66,80 @@ class FederatedConfig:
             raise ValueError(
                 f"client_fraction must be in (0, 1], got {self.client_fraction}"
             )
+        if self.engine is not None and not isinstance(self.engine, EngineSpec):
+            raise ValueError(
+                f"engine must be an EngineSpec or None, got {type(self.engine).__name__}"
+            )
+
+
+# ----------------------------------------------------------------------
+# The per-client local update, shared by every execution scheduler
+# ----------------------------------------------------------------------
+def build_local_plan(
+    config: FederatedConfig,
+    rngs: RngFactory,
+    user: int,
+    positives: np.ndarray,
+    num_items: int,
+    round_index: int,
+) -> Optional[ClientTrainingPlan]:
+    """Materialize one client's local-epoch batches (RNG-faithful)."""
+    if positives.size == 0:
+        return None
+    rng = rngs.spawn_indexed("local-sampling", user * 100_003 + round_index)
+    sampler = UserBatchSampler(
+        num_items=num_items,
+        positive_items=positives,
+        negative_ratio=config.negative_ratio,
+        batch_size=config.batch_size,
+        rng=rng,
+    )
+    epochs = [list(sampler.epoch()) for _ in range(config.local_epochs)]
+    return ClientTrainingPlan(user_id=int(user), epochs=epochs)
+
+
+def run_local_plan(model: Recommender, config: FederatedConfig, user: int,
+                   plan: ClientTrainingPlan) -> float:
+    """Execute a client's plan against ``model``; returns the mean loss."""
+    optimizer = SGD(model.parameters(), lr=config.local_learning_rate)
+    loss_fn = PointwiseBCELoss()
+    model.train()
+    total_loss = 0.0
+    batches = 0
+    for epoch_batches in plan.epochs:
+        for items, labels in epoch_batches:
+            users = np.full(len(items), user, dtype=np.int64)
+            predictions = model.score(users, items)
+            loss = loss_fn(predictions, labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            total_loss += loss.item()
+            batches += 1
+    return total_loss / max(batches, 1)
+
+
+def fedavg_local_training(
+    model: Recommender,
+    rngs: RngFactory,
+    config: FederatedConfig,
+    user: int,
+    positives: np.ndarray,
+    num_items: int,
+    round_index: int,
+) -> float:
+    """Plan and run one client's local update (used by worker processes)."""
+    plan = build_local_plan(config, rngs, user, positives, num_items, round_index)
+    if plan is None:
+        return 0.0
+    return run_local_plan(model, config, user, plan)
+
+
+def load_public_state(model: Recommender, public_names, state) -> None:
+    """Overwrite the model's public parameters with ``state``."""
+    for name, parameter in model.named_parameters():
+        if name in public_names:
+            parameter.data = state[name].copy()
 
 
 class ParameterTransmissionFedRec:
@@ -71,9 +152,9 @@ class ParameterTransmissionFedRec:
         self.config = config if config is not None else FederatedConfig()
         self._rngs = RngFactory(self.config.seed)
         self.ledger = CommunicationLedger()
-        self.loss_fn = PointwiseBCELoss()
         self.model = self._build_global_model()
         self._public_names = set(self._public_parameter_names())
+        self.engine = create_scheduler(self.config.engine)
         self.rounds_completed = 0
 
     # ------------------------------------------------------------------
@@ -113,42 +194,33 @@ class ParameterTransmissionFedRec:
         }
 
     def _load_public_state(self, state: Dict[str, np.ndarray]) -> None:
-        for name, parameter in self.model.named_parameters():
-            if name in self._public_names:
-                parameter.data = state[name].copy()
+        load_public_state(self.model, self._public_names, state)
+
+    def local_training_plan(
+        self, user: int, round_index: int
+    ) -> Optional[ClientTrainingPlan]:
+        """Materialize one client's local-training batches for the engine."""
+        return build_local_plan(
+            self.config,
+            self._rngs,
+            user,
+            self.dataset.train_items(user),
+            self.dataset.num_items,
+            round_index,
+        )
 
     def _local_training(self, user: int, round_index: int) -> float:
         """Run the client's local epochs; returns the mean batch loss."""
-        positives = self.dataset.train_items(user)
-        if positives.size == 0:
+        plan = self.local_training_plan(user, round_index)
+        if plan is None:
             return 0.0
-        rng = self._rngs.spawn_indexed("local-sampling", user * 100_003 + round_index)
-        sampler = UserBatchSampler(
-            num_items=self.dataset.num_items,
-            positive_items=positives,
-            negative_ratio=self.config.negative_ratio,
-            batch_size=self.config.batch_size,
-            rng=rng,
-        )
-        optimizer = SGD(self.model.parameters(), lr=self.config.local_learning_rate)
-        self.model.train()
-        total_loss = 0.0
-        batches = 0
-        for _ in range(self.config.local_epochs):
-            for items, labels in sampler.epoch():
-                users = np.full(len(items), user, dtype=np.int64)
-                predictions = self.model.score(users, items)
-                loss = self.loss_fn(predictions, labels)
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
-                total_loss += loss.item()
-                batches += 1
-        return total_loss / max(batches, 1)
+        return run_local_plan(self.model, self.config, user, plan)
 
     def run_round(self, round_index: int) -> Dict[str, float]:
         """Execute one full federated round.
 
+        The per-client local updates run through the configured execution
+        engine (serial, batched or multiprocess — all bit-identical).
         Aggregation is coordinate-wise federated averaging over the clients
         that actually updated each entry: a client that never interacted
         with an item contributes nothing to that item's embedding, which is
@@ -157,22 +229,16 @@ class ParameterTransmissionFedRec:
         """
         selected = self._select_clients(round_index)
         global_state = self._public_state()
-        delta_sum = {name: np.zeros_like(value) for name, value in global_state.items()}
-        update_count = {name: np.zeros_like(value) for name, value in global_state.items()}
         download_bytes = self._download_bytes()
         upload_bytes = self._upload_bytes()
 
-        client_losses: List[float] = []
+        losses, delta_sum, update_count = self.engine.train_fedavg_clients(
+            self, selected, round_index, global_state
+        )
+        client_losses: List[float] = [losses[user] for user in selected]
         for user in selected:
             self.ledger.record(round_index, user, "download", download_bytes,
                                description=f"{self.name} public parameters")
-            self._load_public_state(global_state)
-            client_losses.append(self._local_training(user, round_index))
-            updated = self._public_state()
-            for name in delta_sum:
-                delta = updated[name] - global_state[name]
-                delta_sum[name] += delta
-                update_count[name] += (delta != 0.0)
             self.ledger.record(round_index, user, "upload", upload_bytes,
                                description=f"{self.name} public parameter update")
 

@@ -36,7 +36,13 @@ class Optimizer:
 
 
 class SGD(Optimizer):
-    """Stochastic gradient descent with optional momentum and weight decay."""
+    """Stochastic gradient descent with optional momentum and weight decay.
+
+    Per-parameter state is keyed by the parameter's *index* in the managed
+    list (not ``id()``), so optimizer state survives pickling — a property
+    the multiprocess execution engine relies on when it ships clients to
+    worker processes and back.
+    """
 
     def __init__(
         self,
@@ -53,24 +59,31 @@ class SGD(Optimizer):
         self._velocity: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
-        for parameter in self.parameters:
+        for index, parameter in enumerate(self.parameters):
             if parameter.grad is None:
                 continue
             grad = parameter.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * parameter.data
             if self.momentum:
-                velocity = self._velocity.get(id(parameter))
+                velocity = self._velocity.get(index)
                 if velocity is None:
                     velocity = np.zeros_like(parameter.data)
                 velocity = self.momentum * velocity + grad
-                self._velocity[id(parameter)] = velocity
+                self._velocity[index] = velocity
                 grad = velocity
             parameter.data = parameter.data - self.lr * grad
 
 
 class Adam(Optimizer):
-    """Adam optimizer (Kingma & Ba, 2014) — the paper's optimizer."""
+    """Adam optimizer (Kingma & Ba, 2014) — the paper's optimizer.
+
+    Per-parameter state (step count and both moment estimates) is keyed by
+    the parameter's index in the managed list, which keeps the state valid
+    across pickling and lets :mod:`repro.engine` stack the state of many
+    per-client optimizers into contiguous arrays (see
+    :meth:`slot_state` / :meth:`load_slot_state`).
+    """
 
     def __init__(
         self,
@@ -93,24 +106,54 @@ class Adam(Optimizer):
         self._second_moment: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
-        for parameter in self.parameters:
+        for index, parameter in enumerate(self.parameters):
             if parameter.grad is None:
                 continue
             grad = parameter.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * parameter.data
-            key = id(parameter)
-            step = self._steps.get(key, 0) + 1
-            first = self._first_moment.get(key)
-            second = self._second_moment.get(key)
+            step = self._steps.get(index, 0) + 1
+            first = self._first_moment.get(index)
+            second = self._second_moment.get(index)
             if first is None:
                 first = np.zeros_like(parameter.data)
                 second = np.zeros_like(parameter.data)
             first = self.beta1 * first + (1.0 - self.beta1) * grad
             second = self.beta2 * second + (1.0 - self.beta2) * (grad * grad)
-            self._steps[key] = step
-            self._first_moment[key] = first
-            self._second_moment[key] = second
+            self._steps[index] = step
+            self._first_moment[index] = first
+            self._second_moment[index] = second
             first_hat = first / (1.0 - self.beta1 ** step)
             second_hat = second / (1.0 - self.beta2 ** step)
             parameter.data = parameter.data - self.lr * first_hat / (np.sqrt(second_hat) + self.eps)
+
+    # ------------------------------------------------------------------
+    # State transfer (used by repro.engine to stack per-client optimizers)
+    # ------------------------------------------------------------------
+    def has_state(self) -> bool:
+        """Whether any parameter has been stepped yet."""
+        return bool(self._steps)
+
+    def slot_state(self, index: int):
+        """Return ``(step, first_moment, second_moment)`` for parameter ``index``.
+
+        Fresh (never-stepped) slots report ``(0, zeros, zeros)`` so callers
+        can stack heterogeneous client optimizers uniformly.
+        """
+        parameter = self.parameters[index]
+        step = self._steps.get(index, 0)
+        first = self._first_moment.get(index)
+        second = self._second_moment.get(index)
+        if first is None:
+            first = np.zeros_like(parameter.data)
+            second = np.zeros_like(parameter.data)
+        return step, first, second
+
+    def load_slot_state(self, index: int, step: int, first: np.ndarray,
+                        second: np.ndarray) -> None:
+        """Install ``(step, first_moment, second_moment)`` for parameter ``index``."""
+        if not 0 <= index < len(self.parameters):
+            raise IndexError(f"parameter index {index} out of range")
+        self._steps[index] = int(step)
+        self._first_moment[index] = np.asarray(first)
+        self._second_moment[index] = np.asarray(second)

@@ -54,6 +54,23 @@ def binary_cross_entropy(probabilities: Tensor, targets: Union[Tensor, np.ndarra
     return loss.mean()
 
 
+def binary_cross_entropy_per_row(
+    probabilities: Tensor, targets: Union[Tensor, np.ndarray]
+) -> Tensor:
+    """Per-row mean binary cross-entropy over the last axis.
+
+    For a stacked cohort of shape ``(clients, batch)`` this returns one loss
+    per client, each computed with exactly the same elementwise operations
+    and the same ``1/batch`` scaling as :func:`binary_cross_entropy` applies
+    to a single client's 1-D batch — the property that makes the batched
+    execution engine bit-identical to the serial per-client loop.
+    """
+    targets = targets if isinstance(targets, Tensor) else Tensor(targets)
+    clipped = probabilities.clip(_EPS, 1.0 - _EPS)
+    loss = -(targets * clipped.log() + (1.0 - targets) * (1.0 - clipped).log())
+    return loss.mean(axis=loss.ndim - 1)
+
+
 def binary_cross_entropy_with_logits(logits: Tensor, targets: Union[Tensor, np.ndarray]) -> Tensor:
     """Mean BCE computed from raw logits (numerically stable path)."""
     return binary_cross_entropy(logits.sigmoid(), targets)

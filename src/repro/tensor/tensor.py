@@ -141,13 +141,13 @@ class Tensor:
     # ------------------------------------------------------------------
     # Graph machinery
     # ------------------------------------------------------------------
-    def _init_grad(self) -> None:
-        if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-
     def _accumulate(self, grad: np.ndarray) -> None:
-        self._init_grad()
-        self.grad += grad
+        if self.grad is None:
+            # First contribution: copy instead of zeros-then-add (saves a
+            # full allocation + pass on every parameter every step).
+            self.grad = np.array(grad)
+        else:
+            self.grad += grad
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -289,12 +289,23 @@ class Tensor:
     # Matrix operations
     # ------------------------------------------------------------------
     def matmul(self, other: "Tensor") -> "Tensor":
+        """Matrix product, including stacked (batched) operands.
+
+        Operands with ``ndim >= 3`` follow NumPy's ``matmul`` semantics: the
+        product is computed per leading-axis slice, which is how
+        :mod:`repro.engine` runs one cohort of per-client models as a single
+        stacked operation.
+        """
         other = other if isinstance(other, Tensor) else Tensor(other)
         data = self.data @ other.data
 
         def backward(grad):
-            grad_self = grad @ other.data.T if other.data.ndim == 2 else np.outer(grad, other.data)
-            grad_other = self.data.T @ grad if self.data.ndim == 2 else np.outer(self.data, grad)
+            if self.data.ndim >= 2 and other.data.ndim >= 2:
+                grad_self = grad @ np.swapaxes(other.data, -1, -2)
+                grad_other = np.swapaxes(self.data, -1, -2) @ grad
+            else:
+                grad_self = grad @ other.data.T if other.data.ndim == 2 else np.outer(grad, other.data)
+                grad_other = self.data.T @ grad if self.data.ndim == 2 else np.outer(self.data, grad)
             return (
                 _unbroadcast(grad_self, self.shape),
                 _unbroadcast(grad_other, other.shape),
@@ -316,6 +327,20 @@ class Tensor:
     @property
     def T(self) -> "Tensor":  # noqa: N802 - mirrors NumPy naming
         return self.transpose()
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        """Exchange two axes (a view-level transpose for stacked tensors).
+
+        The stacked execution engine uses ``weights.swapaxes(-1, -2)`` where
+        2-D code would write ``weights.T``, so a cohort of per-client linear
+        layers multiplies as one batched ``matmul``.
+        """
+        data = self.data.swapaxes(axis1, axis2)
+
+        def backward(grad):
+            return (grad.swapaxes(axis1, axis2),)
+
+        return Tensor._make(data, (self,), backward)
 
     def reshape(self, *shape: int) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):

@@ -1,0 +1,63 @@
+"""Internal link check for the documentation suite.
+
+Walks every markdown link in README.md and docs/*.md and asserts that
+relative targets exist on disk and that ``#anchors`` name a real heading
+in the target file.  Runs in tier-1 and in the CI ``docs`` job, so docs
+cannot silently drift from the tree they describe.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _anchors(markdown: str) -> set:
+    """GitHub-style slugs for every heading in a markdown document."""
+    slugs = set()
+    for heading in _HEADING.findall(markdown):
+        slug = heading.strip().lower()
+        slug = re.sub(r"[^\w\s-]", "", slug)
+        slug = re.sub(r"\s+", "-", slug)
+        slugs.add(slug)
+    return slugs
+
+
+def _links(markdown: str):
+    return _LINK.findall(markdown)
+
+
+@pytest.mark.parametrize("doc_path", DOC_FILES, ids=lambda p: p.name)
+def test_internal_links_resolve(doc_path):
+    assert doc_path.exists(), f"missing documentation file {doc_path}"
+    text = doc_path.read_text(encoding="utf-8")
+    problems = []
+    for target in _links(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        resolved = (doc_path.parent / base).resolve() if base else doc_path
+        if base and not resolved.exists():
+            problems.append(f"{target}: file not found")
+            continue
+        if anchor:
+            if resolved.suffix != ".md":
+                continue
+            if anchor not in _anchors(resolved.read_text(encoding="utf-8")):
+                problems.append(f"{target}: no heading for anchor")
+    assert not problems, f"broken links in {doc_path.name}: {problems}"
+
+
+def test_docs_suite_is_complete():
+    names = {path.name for path in DOC_FILES}
+    assert {"README.md", "architecture.md", "api.md", "reproducing.md"} <= names

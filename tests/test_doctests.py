@@ -1,0 +1,36 @@
+"""Runs the documented examples (doctests) of the public-facing modules.
+
+CI additionally runs ``pytest --doctest-modules`` over the same modules
+(see .github/workflows/ci.yml); this mirror keeps the doctest pass inside
+the tier-1 suite so README/docstring examples cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.engine
+import repro.engine.batch
+import repro.engine.spec
+import repro.experiments.spec
+
+MODULES = [
+    repro.engine,
+    repro.engine.spec,
+    repro.engine.batch,
+    repro.experiments.spec,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+
+
+def test_doctests_are_present():
+    """The documented modules must actually carry runnable examples."""
+    attempted = sum(doctest.testmod(m).attempted for m in MODULES)
+    assert attempted >= 5
