@@ -1,0 +1,123 @@
+"""Micro-benchmark — batched serving throughput.
+
+A deployment answers top-k queries for whole cohorts of users.  The serial
+baseline is the per-user loop every evaluator-style caller writes:
+``model.recommend(user, k, exclude_items=seen)`` once per user — one full
+Python scoring round-trip each.  ``repro.serve.Recommender`` answers the
+same cohort with one batched score pass (a single user-by-item matmul for
+dot-product architectures) and one vectorized partition/sort.
+
+This bench measures both paths at 50 / 200 / 800 users and asserts the
+acceptance bar: **>= 5x at 200 users**.  A third row reports the LRU
+score cache on repeat traffic (hot users are the common case behind a
+real query mix).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import SEED, print_table
+
+from repro.data import debug_dataset
+from repro.models.factory import create_model
+from repro.serve import Recommender
+from repro.utils import RngFactory
+
+COHORT_SIZES = (50, 200, 800)
+ASSERTED_COHORT = 200
+MIN_SPEEDUP = 5.0
+
+NUM_USERS = 800
+NUM_ITEMS = 2000
+EMBEDDING_DIM = 32
+TOP_K = 20
+
+
+def _build_service():
+    rngs = RngFactory(SEED)
+    dataset = debug_dataset(
+        rngs.spawn("serve-data"), num_users=NUM_USERS, num_items=NUM_ITEMS,
+        num_interactions=8000,
+    )
+    model = create_model(
+        "mf", num_users=NUM_USERS, num_items=NUM_ITEMS,
+        embedding_dim=EMBEDDING_DIM, rng=rngs.spawn("serve-model"),
+    )
+    seen = {user: dataset.train_items(user) for user in dataset.users}
+    service = Recommender(
+        model, seen_items=seen, popularity=dataset.item_popularity(), cache_size=0
+    )
+    return model, seen, service
+
+
+def _serial_seconds(model, seen, users) -> float:
+    start = time.perf_counter()
+    for user in users:
+        model.recommend(int(user), k=TOP_K, exclude_items=seen.get(int(user)))
+    return time.perf_counter() - start
+
+
+def _batched_seconds(service, users, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        service.clear_cache()
+        start = time.perf_counter()
+        service.recommend(users, k=TOP_K)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _cached_seconds(service, users, repeats: int = 3) -> float:
+    service.recommend(users, k=TOP_K)  # warm the cache
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        service.recommend(users, k=TOP_K)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_serve_throughput(benchmark):
+    model, seen, service = _build_service()
+    hot = Recommender(
+        model, seen_items=seen, popularity=None, cache_size=NUM_USERS
+    )
+
+    # Warm up code paths once with a small cohort.
+    service.recommend(np.arange(16), k=TOP_K)
+    service.clear_cache()
+
+    rows = []
+    speedups = {}
+    for cohort in COHORT_SIZES:
+        users = np.arange(cohort) % NUM_USERS
+        serial_s = _serial_seconds(model, seen, users)
+        batched_s = _batched_seconds(service, users)
+        cached_s = _cached_seconds(hot, users)
+        speedups[cohort] = serial_s / batched_s
+        rows.append([
+            cohort,
+            f"{cohort / serial_s:,.0f} users/s",
+            f"{cohort / batched_s:,.0f} users/s",
+            f"{cohort / cached_s:,.0f} users/s",
+            f"{speedups[cohort]:.1f}x",
+        ])
+
+    benchmark.pedantic(
+        lambda: _batched_seconds(service, np.arange(ASSERTED_COHORT), repeats=1),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_table(
+        "Top-20 query throughput, per-user loop vs batched Recommender",
+        ["#users", "serial", "batched", "batched+cache", "speedup"],
+        rows,
+    )
+    assert speedups[ASSERTED_COHORT] >= MIN_SPEEDUP, (
+        f"batched Recommender.recommend must be >= {MIN_SPEEDUP}x the per-user "
+        f"loop at {ASSERTED_COHORT} users, measured {speedups[ASSERTED_COHORT]:.1f}x"
+    )

@@ -1,14 +1,22 @@
-"""Model-IP scenario: the server iterates on its proprietary model.
+"""Model-IP lifecycle: trial hidden models, ship the winner, serve queries.
 
-The motivation in the paper's introduction: the recommendation model is the
-service provider's intellectual property, so the provider wants to improve
-and swap its model freely *without ever shipping it to clients*.  In
-PTF-FedRec the clients only ever see prediction scores, so the provider can
-trial different hidden architectures (NeuMF, NGCF, LightGCN) against the
-same fleet of client devices and pick the best one — here, one
-``spec.replace(server_model=...)`` per candidate.  The hidden parameter
-count comes from the trainer adapter's underlying system, which the
-registry exposes for exactly this kind of inspection.
+The motivation in the paper's introduction: the recommendation model is
+the service provider's intellectual property, so the provider wants to
+improve and swap its model freely *without ever shipping it to clients*.
+In PTF-FedRec the clients only ever see prediction scores, so the
+provider can trial different hidden architectures (NeuMF, NGCF, LightGCN)
+against the same fleet of client devices and pick the best one.
+
+This example runs that story end to end through the artifact + serving
+API added in `repro.artifacts` / `repro.serve`:
+
+1. **train** each candidate server model with periodic checkpointing,
+2. **save** — the winning run already lives on disk as a versioned
+   artifact (manifest + npz, dataset embedded, spec included),
+3. **load** the artifact back in a "deployment" step that shares no
+   objects with training, and
+4. **serve** batched top-k queries from it — the hidden model still never
+   leaves the provider's side.
 
 Run with::
 
@@ -17,9 +25,14 @@ Run with::
 
 from __future__ import annotations
 
+import shutil
+import tempfile
+from pathlib import Path
+
 import repro
+from repro.artifacts import CheckpointEveryK, load_checkpoint
 from repro.data import movielens_100k
-from repro.experiments import create_trainer
+from repro.serve import Recommender
 from repro.utils import RngFactory
 
 CANDIDATE_SERVER_MODELS = ("neumf", "ngcf", "lightgcn")
@@ -36,42 +49,63 @@ BASE_SPEC = repro.ExperimentSpec(
 )
 
 
-def trial(dataset, server_model: str) -> dict:
+def trial(dataset, server_model: str, artifact_dir: Path) -> dict:
+    """Train one candidate, checkpointing every 5 rounds + at fit end."""
     spec = BASE_SPEC.replace(server_model=server_model)
-    trainer = create_trainer(spec, dataset)
-    trainer.fit()
-    result = trainer.evaluate()
-    server_params = sum(p.size for p in trainer.system.server.model.parameters())
+    result = repro.run(spec, dataset, callbacks=[
+        CheckpointEveryK(artifact_dir / server_model, every=5)
+    ])
+    result.save(artifact_dir / server_model / "result.json")
     return {
-        "server_model": server_model.upper(),
-        "recall": result.recall,
-        "ndcg": result.ndcg,
-        "hidden_parameters": server_params,
-        "kb_per_round": trainer.communication_summary().average_client_round_kilobytes,
+        "server_model": server_model,
+        "recall": result.final.recall,
+        "ndcg": result.final.ndcg,
+        "kb_per_round": result.communication.average_client_round_kilobytes,
+        "artifact": artifact_dir / server_model / "latest",
     }
 
 
 def main() -> None:
     dataset = movielens_100k(RngFactory(SEED).spawn("dataset"), scale=0.1)
+    artifact_dir = Path(tempfile.mkdtemp(prefix="marketplace-"))
     print(f"Dataset: {dataset}")
     print("Clients always run the public NeuMF; the provider trials hidden server models.\n")
 
     header = (f"{'Hidden server model':<20} {'Recall@20':>10} {'NDCG@20':>10} "
-              f"{'Hidden params':>14} {'KB/client/round':>16}")
+              f"{'KB/client/round':>16}")
     print(header)
     print("-" * len(header))
     results = []
     for server_model in CANDIDATE_SERVER_MODELS:
-        row = trial(dataset, server_model)
+        row = trial(dataset, server_model, artifact_dir)
         results.append(row)
-        print(f"{row['server_model']:<20} {row['recall']:>10.4f} {row['ndcg']:>10.4f} "
-              f"{row['hidden_parameters']:>14,} {row['kb_per_round']:>16.2f}")
+        print(f"{row['server_model'].upper():<20} {row['recall']:>10.4f} "
+              f"{row['ndcg']:>10.4f} {row['kb_per_round']:>16.2f}")
 
     best = max(results, key=lambda row: row["ndcg"])
-    print(f"\nThe provider would deploy {best['server_model']} — and at no point did any")
-    print("of its parameters, or even its architecture, leave the server: clients only")
-    print("ever exchanged prediction scores, and the traffic stayed identical across")
-    print("candidates because it depends on the protocol, not on the hidden model.")
+    print(f"\nDeploying {best['server_model'].upper()} from its artifact: {best['artifact']}")
+
+    # --- "deployment": a fresh process would start here -------------------
+    checkpoint = load_checkpoint(best["artifact"])
+    service = Recommender.from_checkpoint(best["artifact"])
+    print(f"Artifact: schema v{checkpoint.schema_version}, trainer={checkpoint.trainer!r}, "
+          f"{checkpoint.rounds_completed} rounds, "
+          f"{service.model.num_parameters():,} hidden parameters")
+    cohort = dataset.users[:5] + [10_000]            # 5 real users + 1 cold start
+    ranked = service.recommend(cohort, k=5)
+    for user, items in zip(cohort, ranked):
+        label = "cold-start -> popularity" if user == 10_000 else "personalized"
+        print(f"  user {user:>5} ({label:<24}): top-5 items {items.tolist()}")
+
+    # Hot users hit the LRU score cache on repeat traffic.
+    service.recommend(cohort, k=5)
+    print(f"Cache after repeat query: {service.cache_hits} hits / "
+          f"{service.cache_misses} misses")
+
+    print("\nAt no point did the hidden model's parameters, or even its")
+    print("architecture, leave the server: training exchanged prediction scores")
+    print("only, and serving answers queries from the provider-side artifact.")
+    shutil.rmtree(artifact_dir, ignore_errors=True)
 
 
 if __name__ == "__main__":

@@ -21,7 +21,13 @@ Recommender System" (ICDE 2024).  The package is organised bottom-up:
   :class:`ExperimentSpec`, a trainer registry covering every paradigm
   (``"ptf"``, ``"fcf"``, ``"fedmf"``, ``"metamf"``, ``"centralized"``),
   training callbacks, and :func:`run`, which returns a uniform
-  :class:`~repro.experiments.RunResult` for any of them.
+  :class:`~repro.experiments.RunResult` for any of them,
+* :mod:`repro.artifacts` — durable, schema-versioned checkpoints (JSON
+  manifest + npz payload) for every trainer; ``run(spec,
+  resume_from=path)`` continues a checkpointed run bit-identically,
+* :mod:`repro.serve` — the query-time :class:`~repro.serve.Recommender`
+  service: batched top-k recommendations from a saved artifact, with an
+  LRU score cache and a popularity cold-start fallback.
 
 Quickstart::
 
@@ -44,6 +50,7 @@ works; ``PTFConfig`` is deprecated and converts to an ``ExperimentSpec``.
 """
 
 from repro import (
+    artifacts,
     core,
     data,
     engine,
@@ -53,16 +60,19 @@ from repro import (
     models,
     nn,
     optim,
+    serve,
     tensor,
     utils,
 )
+from repro.artifacts import load_checkpoint, save_checkpoint
 from repro.core import PTFConfig, PTFFedRec
 from repro.engine import EngineSpec
 from repro.experiments import ExperimentSpec, RunResult, register_trainer, run
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "artifacts",
     "core",
     "data",
     "engine",
@@ -72,6 +82,7 @@ __all__ = [
     "models",
     "nn",
     "optim",
+    "serve",
     "tensor",
     "utils",
     "PTFConfig",
@@ -79,6 +90,8 @@ __all__ = [
     "EngineSpec",
     "ExperimentSpec",
     "RunResult",
+    "load_checkpoint",
+    "save_checkpoint",
     "register_trainer",
     "run",
     "__version__",

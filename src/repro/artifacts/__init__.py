@@ -1,0 +1,64 @@
+"""Durable model artifacts: versioned checkpoints for every trainer.
+
+The missing half of the experiment lifecycle: where
+:mod:`repro.experiments` produces an in-memory
+:class:`~repro.experiments.result.RunResult`, this package makes training
+state durable and queryable after the process exits:
+
+* :func:`save_checkpoint` / :func:`load_checkpoint` — a schema-versioned
+  artifact (JSON manifest + ``.npz`` payload) capturing a trainer's full
+  state: client and server models (parameters *and* buffers), index-keyed
+  optimizer state, the communication ledger, round counters, the run
+  history so far, and the originating :class:`~repro.experiments.ExperimentSpec`,
+  with the dataset splits embedded so the artifact is self-contained;
+* :meth:`Checkpoint.restore` — rebuild the exact trainer from an artifact;
+  ``repro.run(spec, resume_from=path)`` continues it **bit-identically**
+  to a run that was never interrupted (asserted with ``==`` in
+  ``tests/test_artifacts.py``);
+* :class:`CheckpointEveryK` — periodic checkpointing as a training
+  callback for any registered trainer;
+* :mod:`repro.serve` builds its query-time
+  :class:`~repro.serve.Recommender` from these artifacts.
+
+Quickstart::
+
+    import repro
+    from repro.artifacts import CheckpointEveryK, load_checkpoint
+
+    spec = repro.ExperimentSpec(trainer="ptf", protocol={"rounds": 10})
+    result = repro.run(spec, callbacks=[CheckpointEveryK("ckpts", every=5)])
+    result.save("ckpts/result.json")
+
+    # Later (any process): continue training, or inspect the artifact.
+    resumed = repro.run(spec, resume_from="ckpts/latest")
+    assert resumed.final == result.final
+"""
+
+from repro.artifacts.callbacks import CheckpointEveryK
+from repro.artifacts.checkpoint import (
+    ARRAYS_NAME,
+    MANIFEST_NAME,
+    SCHEMA_VERSION,
+    Checkpoint,
+    copy_checkpoint,
+    dataset_fingerprint,
+    dataset_from_state,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.artifacts.io import flatten_state, unflatten_state
+
+__all__ = [
+    "ARRAYS_NAME",
+    "MANIFEST_NAME",
+    "SCHEMA_VERSION",
+    "Checkpoint",
+    "CheckpointEveryK",
+    "copy_checkpoint",
+    "dataset_fingerprint",
+    "dataset_from_state",
+    "flatten_state",
+    "load_checkpoint",
+    "save_checkpoint",
+    "unflatten_state",
+]

@@ -1,0 +1,271 @@
+"""Versioned training checkpoints: save, load, restore, resume.
+
+A checkpoint is a *directory* holding
+
+* ``manifest.json`` — schema version, trainer name, the originating
+  :class:`~repro.experiments.spec.ExperimentSpec`, the run's round history
+  so far, dataset identity (shape, fingerprint, split sizes) and the JSON
+  twin of the trainer's state tree (see :mod:`repro.artifacts.io`),
+* ``arrays.npz`` — every NumPy array of that state tree (model parameters
+  and buffers, optimizer moments, ledger columns, dataset splits).
+
+The dataset's train/test pairs are embedded, so an artifact is
+self-contained: :meth:`Checkpoint.restore` can rebuild the exact trainer
+with no external inputs, and ``repro.run(spec, resume_from=path)``
+continues the run bit-identically to one that was never interrupted
+(every random stream in the repository is keyed by ``(seed, component,
+round)``, never by wall-clock position, so replaying from restored state
+reproduces the uninterrupted arithmetic exactly).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.artifacts.io import flatten_state, unflatten_state
+from repro.data.dataset import InteractionDataset
+from repro.experiments.result import RoundRecord
+from repro.experiments.spec import ExperimentSpec
+
+#: Bumped whenever the manifest layout changes incompatibly.  Loaders
+#: refuse manifests they do not understand instead of misreading them.
+SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+_MANIFEST_KIND = "repro-checkpoint"
+
+
+# ----------------------------------------------------------------------
+# Dataset identity
+# ----------------------------------------------------------------------
+def dataset_fingerprint(dataset: InteractionDataset) -> str:
+    """Content hash of a dataset's dimensions and exact train/test splits.
+
+    Resuming against a different dataset would silently change every
+    client's private data, so checkpoints pin the dataset by fingerprint
+    and :meth:`Checkpoint.restore` verifies it.
+    """
+    digest = hashlib.sha256()
+    digest.update(np.asarray([dataset.num_users, dataset.num_items], dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(dataset.train_pairs, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(dataset.test_pairs, dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
+def _dataset_state(dataset: InteractionDataset) -> Dict[str, Any]:
+    return {
+        "name": dataset.name,
+        "num_users": dataset.num_users,
+        "num_items": dataset.num_items,
+        "train_pairs": dataset.train_pairs.copy(),
+        "test_pairs": dataset.test_pairs.copy(),
+    }
+
+
+def dataset_from_state(state: Dict[str, Any]) -> InteractionDataset:
+    """Rebuild the embedded :class:`InteractionDataset` from its state."""
+    return InteractionDataset(
+        num_users=int(state["num_users"]),
+        num_items=int(state["num_items"]),
+        train_pairs=[(int(u), int(i)) for u, i in np.asarray(state["train_pairs"]).reshape(-1, 2)],
+        test_pairs=[(int(u), int(i)) for u, i in np.asarray(state["test_pairs"]).reshape(-1, 2)],
+        name=str(state["name"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# The checkpoint object
+# ----------------------------------------------------------------------
+@dataclass
+class Checkpoint:
+    """One loaded training checkpoint (see :func:`load_checkpoint`)."""
+
+    schema_version: int
+    trainer: str
+    spec: ExperimentSpec
+    rounds_completed: int
+    history: List[RoundRecord]
+    state: Dict[str, Any]
+    dataset_state: Dict[str, Any] = field(repr=False)
+    fingerprint: str
+
+    def dataset(self) -> InteractionDataset:
+        """The embedded dataset the checkpointed run was training on."""
+        return dataset_from_state(self.dataset_state)
+
+    def restore(
+        self,
+        dataset: Optional[InteractionDataset] = None,
+        spec: Optional[ExperimentSpec] = None,
+    ):
+        """Rebuild the trainer adapter and load this checkpoint into it.
+
+        ``dataset`` defaults to the embedded one; passing a dataset with a
+        different fingerprint raises ``ValueError`` (same reasoning as in
+        :func:`dataset_fingerprint`).  ``spec`` lets the caller substitute a
+        compatible spec (``repro.run`` uses this to extend a run's rounds);
+        it must name the same trainer.
+        """
+        from repro.experiments.registry import create_trainer
+
+        spec = spec if spec is not None else self.spec
+        if spec.trainer != self.trainer:
+            raise ValueError(
+                f"checkpoint was trained by {self.trainer!r}, cannot restore "
+                f"into a {spec.trainer!r} trainer"
+            )
+        if dataset is None:
+            dataset = self.dataset()
+        elif dataset_fingerprint(dataset) != self.fingerprint:
+            raise ValueError(
+                "dataset fingerprint mismatch: this checkpoint was taken on "
+                f"{self.dataset_state['name']!r} "
+                f"({self.fingerprint[:12]}…); resuming on different data would "
+                "not reproduce the original run"
+            )
+        adapter = create_trainer(spec, dataset)
+        adapter.load_state_dict(self.state)
+        return adapter
+
+
+# ----------------------------------------------------------------------
+# Save / load
+# ----------------------------------------------------------------------
+def _swap_directory(staging: Path, target: Path) -> None:
+    """Move a fully written ``staging`` directory into place at ``target``.
+
+    ``os.replace`` cannot replace a non-empty directory, so an existing
+    target is parked aside first and removed only after the rename — a
+    reader never sees a half-written artifact, only the old one or the
+    new one.
+    """
+    parked = None
+    if target.exists():
+        parked = target.with_name(f"{target.name}.old-{os.getpid()}")
+        if parked.exists():
+            shutil.rmtree(parked)
+        os.replace(target, parked)
+    os.replace(staging, target)
+    if parked is not None:
+        shutil.rmtree(parked, ignore_errors=True)
+
+
+def copy_checkpoint(source: Path, target: Path) -> Path:
+    """Duplicate an existing checkpoint directory (atomically, like a save)."""
+    source, target = Path(source), Path(target)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    staging = target.with_name(f"{target.name}.tmp-{os.getpid()}")
+    if staging.exists():
+        shutil.rmtree(staging)
+    shutil.copytree(source, staging)
+    _swap_directory(staging, target)
+    return target
+
+
+def _resolve_parts(trainer, spec: Optional[ExperimentSpec]):
+    """Accept a trainer adapter *or* a bare system; return (spec, dataset)."""
+    spec = spec if spec is not None else getattr(trainer, "spec", None)
+    if not isinstance(spec, ExperimentSpec):
+        raise ValueError(
+            "save_checkpoint needs the originating ExperimentSpec; pass spec=... "
+            "when checkpointing a system that does not carry one (e.g. a FedAvg "
+            "baseline built from a FederatedConfig)"
+        )
+    dataset = getattr(trainer, "dataset", None)
+    if dataset is None:
+        raise ValueError("trainer exposes no .dataset; cannot build a self-contained artifact")
+    return spec, dataset
+
+
+def save_checkpoint(
+    path: Union[str, Path],
+    trainer,
+    spec: Optional[ExperimentSpec] = None,
+    history: Sequence[RoundRecord] = (),
+) -> Path:
+    """Write ``trainer``'s full state as a checkpoint directory at ``path``.
+
+    ``trainer`` is anything with ``state_dict()`` and ``.dataset`` — a
+    :class:`~repro.experiments.trainers.TrainerAdapter` or one of the
+    underlying systems (``PTFFedRec``, the FedAvg baselines,
+    ``CentralizedTrainer``).  ``history`` carries the run's per-round
+    records so a resumed :class:`~repro.experiments.result.RunResult`
+    reports the whole run, not just the resumed tail.
+    """
+    spec, dataset = _resolve_parts(trainer, spec)
+    state = trainer.state_dict()
+    # Flattening one combined tree gives every array a namespaced npz key
+    # ("state/..." or "dataset/...") with consistent placeholders for free.
+    tree, payload = flatten_state({"state": state, "dataset": _dataset_state(dataset)})
+
+    manifest = {
+        "kind": _MANIFEST_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "trainer": spec.trainer,
+        "spec": spec.to_dict(),
+        "rounds_completed": int(state.get("rounds_completed", len(history))),
+        "history": [record.to_dict() for record in history],
+        "dataset": tree["dataset"],
+        "fingerprint": dataset_fingerprint(dataset),
+        "state": tree["state"],
+        "arrays_file": ARRAYS_NAME,
+    }
+
+    # Write into a sibling temp directory and swap it in, so a crash
+    # mid-save never leaves a truncated artifact at ``path`` — ``latest/``
+    # is the crash-recovery resume target, it must stay loadable.
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    staging = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    if staging.exists():
+        shutil.rmtree(staging)
+    staging.mkdir()
+    try:
+        with open(staging / ARRAYS_NAME, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+        (staging / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=False), encoding="utf-8"
+        )
+        _swap_directory(staging, path)
+    finally:
+        if staging.exists():
+            shutil.rmtree(staging, ignore_errors=True)
+    return path
+
+
+def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
+    """Read a checkpoint directory written by :func:`save_checkpoint`."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no checkpoint manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("kind") != _MANIFEST_KIND:
+        raise ValueError(f"{manifest_path} is not a repro checkpoint manifest")
+    version = manifest.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint schema version {version!r} "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    with np.load(path / manifest["arrays_file"], allow_pickle=False) as payload:
+        arrays = {key: payload[key] for key in payload.files}
+    return Checkpoint(
+        schema_version=int(version),
+        trainer=str(manifest["trainer"]),
+        spec=ExperimentSpec.from_dict(manifest["spec"]),
+        rounds_completed=int(manifest["rounds_completed"]),
+        history=[RoundRecord.from_dict(entry) for entry in manifest["history"]],
+        state=unflatten_state(manifest["state"], arrays),
+        dataset_state=unflatten_state(manifest["dataset"], arrays),
+        fingerprint=str(manifest["fingerprint"]),
+    )

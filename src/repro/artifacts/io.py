@@ -1,0 +1,72 @@
+"""Checkpoint wire format: a JSON manifest tree plus one ``.npz`` payload.
+
+State trees produced by the systems' ``state_dict`` methods are nested
+Python structures mixing JSON-safe scalars (ints, floats, strings, lists,
+dicts) with NumPy arrays.  :func:`flatten_state` splits such a tree into
+
+* a JSON-serializable twin in which every array is replaced by an
+  ``{"__array__": <key>}`` placeholder, and
+* a flat ``{key: ndarray}`` mapping destined for ``numpy.savez_compressed``,
+
+where ``<key>`` is the ``/``-joined path of the array inside the tree
+(e.g. ``"server/model/node_embedding"``), so the payload file stays
+human-inspectable.  :func:`unflatten_state` is the exact inverse.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+#: Placeholder key marking "this JSON object stands for an npz array".
+ARRAY_PLACEHOLDER = "__array__"
+
+
+def flatten_state(tree: Any) -> Tuple[Any, Dict[str, np.ndarray]]:
+    """Split a state tree into a JSON-safe twin and its array payload."""
+    arrays: Dict[str, np.ndarray] = {}
+
+    def walk(node: Any, path: str) -> Any:
+        if isinstance(node, np.ndarray):
+            if path in arrays:
+                raise ValueError(f"duplicate array path {path!r} in state tree")
+            arrays[path] = node
+            return {ARRAY_PLACEHOLDER: path}
+        if isinstance(node, np.generic):
+            return node.item()
+        if isinstance(node, Mapping):
+            converted = {}
+            for key, value in node.items():
+                key = str(key)
+                if ARRAY_PLACEHOLDER in key or "/" in key:
+                    raise ValueError(f"state key {key!r} would collide with the wire format")
+                converted[key] = walk(value, f"{path}/{key}" if path else key)
+            return converted
+        if isinstance(node, (list, tuple)):
+            return [walk(value, f"{path}/{index}") for index, value in enumerate(node)]
+        if node is None or isinstance(node, (bool, int, float, str)):
+            return node
+        raise TypeError(
+            f"state value at {path!r} has unsupported type {type(node).__name__}"
+        )
+
+    return walk(tree, ""), arrays
+
+
+def unflatten_state(tree: Any, arrays: Mapping[str, np.ndarray]) -> Any:
+    """Rebuild the original state tree from :func:`flatten_state` output."""
+
+    def walk(node: Any) -> Any:
+        if isinstance(node, Mapping):
+            if set(node) == {ARRAY_PLACEHOLDER}:
+                key = node[ARRAY_PLACEHOLDER]
+                if key not in arrays:
+                    raise KeyError(f"checkpoint payload is missing array {key!r}")
+                return np.asarray(arrays[key])
+            return {key: walk(value) for key, value in node.items()}
+        if isinstance(node, Sequence) and not isinstance(node, str):
+            return [walk(value) for value in node]
+        return node
+
+    return walk(tree)

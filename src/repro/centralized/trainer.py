@@ -120,3 +120,22 @@ class CentralizedTrainer:
         """Evaluate the trained model on the dataset's test split."""
         evaluator = RankingEvaluator(self.dataset, k=k)
         return evaluator.evaluate(self.model, max_users=max_users)
+
+    # ------------------------------------------------------------------
+    # Serialization (used by repro.artifacts checkpoints)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Model, Adam optimizer and per-epoch loss history."""
+        return {
+            "rounds_completed": len(self.loss_history),
+            "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "loss_history": [float(loss) for loss in self.loss_history],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot; the next epoch continues
+        bit-identically to a run that was never interrupted."""
+        self.model.load_state_dict(state["model"])
+        self.optimizer.load_state_dict(state["optimizer"])
+        self.loss_history = [float(loss) for loss in state["loss_history"]]

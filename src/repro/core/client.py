@@ -210,6 +210,31 @@ class PTFClient:
         return self.model.score_pairs(users, items)
 
     # ------------------------------------------------------------------
+    # Serialization (used by repro.artifacts checkpoints)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything the client mutates across rounds.
+
+        Covers the local model (parameters and update-count buffers), the
+        Adam optimizer's moment estimates, and the latest server-provided
+        soft labels ``D̃_i``.  The client's construction-time identity
+        (user id, positives, spec) is *not* included — it is rebuilt from
+        the spec and dataset, which the checkpoint manifest carries.
+        """
+        return {
+            "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "server_items": self.server_items.copy(),
+            "server_scores": self.server_scores.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this client."""
+        self.model.load_state_dict(state["model"])
+        self.optimizer.load_state_dict(state["optimizer"])
+        self.receive_dispersal(state["server_items"], state["server_scores"])
+
+    # ------------------------------------------------------------------
     # Dispersal intake (Section III-B3)
     # ------------------------------------------------------------------
     def receive_dispersal(self, items: np.ndarray, scores: np.ndarray) -> None:

@@ -147,6 +147,29 @@ class PTFServer:
             self.model.set_interaction_graph(sorted(self._graph_pairs))
 
     # ------------------------------------------------------------------
+    # Serialization (used by repro.artifacts checkpoints)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Model, optimizer, surrogate-graph and loss-history state."""
+        pairs = np.asarray(sorted(self._graph_pairs), dtype=np.int64).reshape(-1, 2)
+        return {
+            "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "graph_pairs": pairs,
+            "loss_history": [float(loss) for loss in self.loss_history],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this server."""
+        self.model.load_state_dict(state["model"])
+        self.optimizer.load_state_dict(state["optimizer"])
+        pairs = np.asarray(state["graph_pairs"], dtype=np.int64).reshape(-1, 2)
+        self._graph_pairs = {(int(u), int(i)) for u, i in pairs}
+        if self._graph_pairs and hasattr(self.model, "set_interaction_graph"):
+            self.model.set_interaction_graph(sorted(self._graph_pairs))
+        self.loss_history = [float(loss) for loss in state["loss_history"]]
+
+    # ------------------------------------------------------------------
     # Dispersal construction (Eq. 9)
     # ------------------------------------------------------------------
     def build_dispersal(self, upload: ClientUpload, round_index: int) -> DispersedDataset:

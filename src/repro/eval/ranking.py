@@ -14,7 +14,7 @@ metric pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Mapping, Optional
 
 import numpy as np
 
@@ -41,6 +41,20 @@ class RankingResult:
             f"Precision@{self.k}": self.precision,
             f"HitRate@{self.k}": self.hit_rate,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "RankingResult":
+        """Rebuild from ``{**as_dict(), "k": ..., "num_users_evaluated": ...}``
+        (the shape :meth:`repro.experiments.RunResult.to_dict` stores)."""
+        k = int(data["k"])
+        return cls(
+            recall=float(data[f"Recall@{k}"]),
+            ndcg=float(data[f"NDCG@{k}"]),
+            precision=float(data[f"Precision@{k}"]),
+            hit_rate=float(data[f"HitRate@{k}"]),
+            k=k,
+            num_users_evaluated=int(data["num_users_evaluated"]),
+        )
 
 
 class _MetricAccumulator:
@@ -147,6 +161,30 @@ class RankingEvaluator:
             )
             if max_users is not None and accumulator.count >= max_users:
                 break
+        return accumulator.average()
+
+    def evaluate_recommendation_lists(
+        self,
+        recommendations: Mapping[int, np.ndarray],
+    ) -> RankingResult:
+        """Average metrics over pre-computed per-user ranked lists.
+
+        Grades recommendation lists produced *outside* the evaluator — the
+        serving path: ``repro.serve.Recommender.recommend`` returns ranked
+        ids per user, and this method scores them with the exact same
+        :meth:`result_for_recommendations` pipeline the training-time
+        evaluation uses, so offline and serving metrics are directly
+        comparable.  Users without held-out test items are skipped, like
+        everywhere else.
+        """
+        accumulator = _MetricAccumulator(self.k)
+        for user in self._test_users(recommendations):
+            accumulator.add(
+                self.result_for_recommendations(
+                    np.asarray(recommendations[user], dtype=np.int64),
+                    self.dataset.test_items(user),
+                )
+            )
         return accumulator.average()
 
     def evaluate_per_user_scores(

@@ -9,8 +9,10 @@ uploads to audit — how much did they leak (:attr:`RunResult.privacy`).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.eval.ranking import RankingResult
 from repro.experiments.spec import ExperimentSpec
@@ -25,6 +27,12 @@ class RoundRecord:
 
     def to_dict(self) -> Dict[str, Any]:
         return {"round": self.round_index, **self.metrics}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RoundRecord":
+        """Inverse of :meth:`to_dict`."""
+        metrics = {key: value for key, value in data.items() if key != "round"}
+        return cls(round_index=int(data["round"]), metrics=metrics)
 
 
 @dataclass(frozen=True)
@@ -52,6 +60,15 @@ class CommunicationSummary:
             "average_client_round_kilobytes": self.average_client_round_kilobytes,
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CommunicationSummary":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            total_bytes=int(data["total_bytes"]),
+            num_transfers=int(data["num_transfers"]),
+            average_client_round_kilobytes=float(data["average_client_round_kilobytes"]),
+        )
+
 
 @dataclass(frozen=True)
 class PrivacySummary:
@@ -75,6 +92,15 @@ class PrivacySummary:
             "guess_ratio": self.guess_ratio,
             "num_clients": self.num_clients,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PrivacySummary":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            mean_f1=float(data["mean_f1"]),
+            guess_ratio=float(data["guess_ratio"]),
+            num_clients=int(data["num_clients"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -106,6 +132,36 @@ class RunResult:
             "privacy": self.privacy.to_dict() if self.privacy is not None else None,
             "duration_seconds": self.duration_seconds,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Inverse of :meth:`to_dict` (the schema every trainer shares)."""
+        privacy = data.get("privacy")
+        return cls(
+            trainer=str(data["trainer"]),
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            rounds_completed=int(data["rounds_completed"]),
+            history=[RoundRecord.from_dict(entry) for entry in data["history"]],
+            final=RankingResult.from_dict(data["final"]),
+            communication=CommunicationSummary.from_dict(data["communication"]),
+            privacy=PrivacySummary.from_dict(privacy) if privacy is not None else None,
+            duration_seconds=float(data["duration_seconds"]),
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the result as a JSON document (parent dirs are created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunResult":
+        """Read a result written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
 
     def metric_series(self, name: str) -> List[float]:
         """The per-round values of one logged metric (rounds that have it)."""

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Dict, Mapping, Optional, Sequence, Union
 
 from repro.data.dataset import InteractionDataset
@@ -17,20 +18,45 @@ from repro.utils.rng import RngFactory
 class _HistoryRecorder(Callback):
     """Internal callback that snapshots every round's logs for the result."""
 
-    def __init__(self):
-        self.records = []
+    def __init__(self, initial: Sequence[RoundRecord] = ()):
+        self.initial = list(initial)
+        self.records = list(self.initial)
 
     def on_fit_start(self, trainer) -> None:
-        self.records = []
+        self.records = list(self.initial)
 
     def on_round_end(self, trainer, round_index: int, logs: Dict[str, float]) -> None:
         self.records.append(RoundRecord(round_index, dict(logs)))
 
 
+def _check_resume_spec(spec: ExperimentSpec, stored: ExperimentSpec) -> None:
+    """Reject resume specs that would change the checkpointed arithmetic.
+
+    ``protocol.rounds`` may grow (resume-and-extend is the point), and the
+    ``evaluation`` / ``engine`` sections are observational or purely about
+    execution speed — every scheduler is bit-identical — but any other
+    difference means the resumed rounds would not belong to the same run.
+    """
+    ours, theirs = spec.to_dict(), stored.to_dict()
+    for data in (ours, theirs):
+        data["protocol"] = {
+            key: value for key, value in data["protocol"].items() if key != "rounds"
+        }
+        data.pop("evaluation", None)
+        data.pop("engine", None)
+    if ours != theirs:
+        raise ValueError(
+            "resume spec does not match the checkpoint's spec (only "
+            "protocol.rounds, evaluation and engine may differ); pass "
+            "spec=None to resume with the stored spec"
+        )
+
+
 def run(
-    spec: Union[ExperimentSpec, Mapping],
+    spec: Union[ExperimentSpec, Mapping, None] = None,
     dataset: Optional[InteractionDataset] = None,
     callbacks: Sequence[Callback] = (),
+    resume_from: Union[str, Path, None] = None,
 ) -> RunResult:
     """Run one experiment end-to-end and return its :class:`RunResult`.
 
@@ -40,22 +66,55 @@ def run(
     so a bare ``repro.run(ExperimentSpec(trainer="ptf"))`` is a complete,
     reproducible smoke experiment.
 
+    ``resume_from`` continues a checkpointed run (see
+    :mod:`repro.artifacts`): the trainer is rebuilt from the stored spec
+    (or ``spec``, which may raise ``protocol.rounds`` to extend the run),
+    its state restored, and only the remaining rounds execute.  On a fixed
+    seed the resumed result is **bit-identical** to an uninterrupted run —
+    history, final metrics, communication totals and model parameters all
+    compare equal.  ``dataset`` defaults to the one embedded in the
+    artifact, and a mismatching dataset is rejected by fingerprint.
+
     The runner wires the spec-driven built-in callbacks (evaluation every
     ``spec.evaluation.every`` rounds, progress logging when
     ``spec.evaluation.verbose``), then the caller's ``callbacks``, and
     finally the history recorder — so user callbacks observe any metrics
     the evaluation callback logged, and the recorded history includes
-    everything.
+    everything.  Checkpoint callbacks (anything with ``seed_history``, like
+    :class:`repro.artifacts.CheckpointEveryK`) are handed the spec and the
+    resumed history prefix automatically.
     """
-    if not isinstance(spec, ExperimentSpec):
+    checkpoint = None
+    if resume_from is not None:
+        from repro.artifacts import load_checkpoint
+
+        checkpoint = load_checkpoint(resume_from)
+
+    if spec is None:
+        if checkpoint is None:
+            raise ValueError("run() needs a spec (or resume_from=...)")
+        spec = checkpoint.spec
+    elif not isinstance(spec, ExperimentSpec):
         spec = ExperimentSpec.from_dict(spec)
-    factory = get_trainer(spec.trainer)
-    if dataset is None:
-        dataset = debug_dataset(RngFactory(spec.seed).spawn("experiment-data"))
 
-    adapter = factory(spec, dataset)
+    if checkpoint is not None:
+        _check_resume_spec(spec, checkpoint.spec)
+        if dataset is None:
+            dataset = checkpoint.dataset()
+        adapter = checkpoint.restore(dataset, spec=spec)
+        prior_history = checkpoint.history
+        remaining: Optional[int] = max(
+            spec.protocol.rounds - adapter.rounds_completed(), 0
+        )
+    else:
+        factory = get_trainer(spec.trainer)
+        if dataset is None:
+            dataset = debug_dataset(RngFactory(spec.seed).spawn("experiment-data"))
+        adapter = factory(spec, dataset)
+        prior_history = []
+        remaining = None
 
-    recorder = _HistoryRecorder()
+    recorder = _HistoryRecorder(initial=prior_history)
     wired = []
     auto_eval = None
     if spec.evaluation.every > 0:
@@ -65,13 +124,18 @@ def run(
             max_users=spec.evaluation.max_users,
         )
         wired.append(auto_eval)
-    wired.extend(callbacks)
+    for callback in callbacks:
+        if hasattr(callback, "seed_history"):
+            if getattr(callback, "spec", None) is None:
+                callback.spec = spec
+            callback.seed_history(prior_history)
+        wired.append(callback)
     if spec.evaluation.verbose:
         wired.append(ProgressLogger(prefix=f"[{spec.trainer}] "))
     wired.append(recorder)
 
     start = time.perf_counter()
-    adapter.fit(callbacks=wired)
+    adapter.fit(callbacks=wired, rounds=remaining)
     duration = time.perf_counter() - start
 
     rounds_completed = adapter.rounds_completed()

@@ -59,9 +59,14 @@ class TrainerAdapter:
     def _build(self):
         raise NotImplementedError
 
-    def fit(self, callbacks: Sequence = ()) -> "TrainerAdapter":
-        """Run the paradigm's full training loop with the shared hooks."""
-        self.system.fit(callbacks=callbacks)
+    def fit(self, callbacks: Sequence = (), rounds: Optional[int] = None) -> "TrainerAdapter":
+        """Run the paradigm's training loop with the shared hooks.
+
+        ``rounds`` limits how many *additional* rounds to run (``None``
+        runs the spec's configured count); the resume path uses it to
+        finish an interrupted run instead of training past the target.
+        """
+        self.system.fit(rounds=rounds, callbacks=callbacks)
         return self
 
     def evaluate(self, k: Optional[int] = None, max_users: Optional[int] = None) -> RankingResult:
@@ -74,6 +79,27 @@ class TrainerAdapter:
 
     def rounds_completed(self) -> int:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Artifacts (checkpointing + serving)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The underlying system's full training state (checkpoint payload)."""
+        return self.system.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into the underlying system."""
+        self.system.load_state_dict(state)
+
+    def serving_model(self):
+        """The trained global :class:`~repro.models.base.Recommender`.
+
+        This is the model a deployment would answer queries with —
+        ``repro.serve.Recommender`` wraps it.  PTF-FedRec serves the
+        *server* model (the provider's hidden IP); the parameter-transmission
+        baselines and centralized training serve their global model.
+        """
+        return self.system.model
 
     @property
     def ledger(self):
@@ -99,6 +125,9 @@ class PTFTrainer(TrainerAdapter):
 
     def rounds_completed(self) -> int:
         return len(self.system.round_summaries)
+
+    def serving_model(self):
+        return self.system.server.model
 
     def privacy_summary(self) -> Optional[PrivacySummary]:
         if not self.spec.evaluation.audit_privacy:
@@ -179,6 +208,10 @@ class CentralizedTrainerAdapter(TrainerAdapter):
             seed=spec.seed,
         )
         return CentralizedTrainer(model, self.dataset, config)
+
+    def fit(self, callbacks: Sequence = (), rounds: Optional[int] = None) -> "TrainerAdapter":
+        self.system.fit(epochs=rounds, callbacks=callbacks)
+        return self
 
     def rounds_completed(self) -> int:
         return len(self.system.loss_history)

@@ -279,6 +279,29 @@ class ParameterTransmissionFedRec:
         return self
 
     # ------------------------------------------------------------------
+    # Serialization (used by repro.artifacts checkpoints)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Global model (public + private rows), ledger and round counter.
+
+        The per-client local optimizer is SGD built fresh every round, so
+        the model tables and the round counter are the whole training
+        state of a FedAvg-style baseline.
+        """
+        return {
+            "rounds_completed": int(self.rounds_completed),
+            "model": self.model.state_dict(),
+            "ledger": self.ledger.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot; the next round continues
+        bit-identically to a run that was never interrupted."""
+        self.model.load_state_dict(state["model"])
+        self.ledger.load_state_dict(state["ledger"])
+        self.rounds_completed = int(state["rounds_completed"])
+
+    # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
     def evaluate(self, k: int = 20, max_users: Optional[int] = None) -> RankingResult:

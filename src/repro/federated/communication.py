@@ -22,6 +22,8 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Literal
 
+import numpy as np
+
 FLOAT_BYTES = 4
 INT_BYTES = 4
 PAILLIER_CIPHERTEXT_BYTES = 512
@@ -128,3 +130,35 @@ class CommunicationLedger:
 
     def __len__(self) -> int:
         return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Serialization (used by repro.artifacts checkpoints)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Columnar snapshot of every record (arrays + parallel string lists).
+
+        A resumed run must report the *whole* run's communication, so the
+        ledger is checkpointed alongside the model state.
+        """
+        return {
+            "round_index": np.array([r.round_index for r in self._records], dtype=np.int64),
+            "client_id": np.array([r.client_id for r in self._records], dtype=np.int64),
+            "num_bytes": np.array([r.num_bytes for r in self._records], dtype=np.int64),
+            "direction": [r.direction for r in self._records],
+            "description": [r.description for r in self._records],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Replace all records with a :meth:`state_dict` snapshot."""
+        rounds = state["round_index"]
+        clients = state["client_id"]
+        sizes = state["num_bytes"]
+        directions = state["direction"]
+        descriptions = state["description"]
+        lengths = {len(rounds), len(clients), len(sizes), len(directions), len(descriptions)}
+        if len(lengths) != 1:
+            raise ValueError(f"ledger state columns disagree on length: {sorted(lengths)}")
+        self._records = [
+            TransferRecord(int(r), int(c), str(d), int(b), str(text))
+            for r, c, d, b, text in zip(rounds, clients, directions, sizes, descriptions)
+        ]

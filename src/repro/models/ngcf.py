@@ -57,7 +57,7 @@ class NGCF(Recommender):
         self._adjacency = build_normalized_adjacency(
             num_users, num_items, interaction_pairs if interaction_pairs is not None else []
         )
-        self._item_update_counts = np.zeros(num_items, dtype=np.int64)
+        self.register_buffer("_item_update_counts", np.zeros(num_items, dtype=np.int64))
         self._cached_final: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------

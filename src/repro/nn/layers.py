@@ -61,7 +61,7 @@ class Embedding(Module):
         self.embedding_dim = embedding_dim
         self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng, std=std),
                                 name="weight")
-        self.update_counts = np.zeros(num_embeddings, dtype=np.int64)
+        self.register_buffer("update_counts", np.zeros(num_embeddings, dtype=np.int64))
 
     def forward(self, indices) -> Tensor:
         indices = np.asarray(indices, dtype=np.int64)

@@ -28,11 +28,15 @@ class Module:
     Subclasses assign :class:`Parameter` and :class:`Module` instances as
     attributes; those are discovered automatically for
     :meth:`parameters`, :meth:`state_dict` and :meth:`zero_grad`.
+    Non-trainable arrays that are part of the model's state (update
+    counters, running statistics) are declared with
+    :meth:`register_buffer` so :meth:`state_dict` round-trips them too.
     """
 
     def __init__(self):
         self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
         self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self.training = True
 
     # ------------------------------------------------------------------
@@ -43,7 +47,21 @@ class Module:
             self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
         elif isinstance(value, Module):
             self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        elif name in self.__dict__.get("_buffers", ()) and isinstance(value, np.ndarray):
+            self._buffers[name] = value
         object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> np.ndarray:
+        """Register a non-trainable array as part of the module's state.
+
+        The buffer is also exposed as a plain attribute; in-place updates
+        (``np.add.at``, ``+=``) and whole-array reassignment both keep the
+        registry in sync.
+        """
+        value = np.asarray(value)
+        self.__dict__.setdefault("_buffers", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+        return value
 
     # ------------------------------------------------------------------
     # Parameter access
@@ -59,6 +77,13 @@ class Module:
         """Yield all trainable parameters recursively."""
         for _, parameter in self.named_parameters():
             yield parameter
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield ``(qualified_name, buffer)`` pairs recursively."""
+        for name, buffer in self._buffers.items():
+            yield (f"{prefix}{name}", buffer)
+        for module_name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{module_name}.")
 
     def num_parameters(self) -> int:
         """Total number of scalar trainable values."""
@@ -87,25 +112,42 @@ class Module:
     # Serialization
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
-        """Return a copy of all parameter arrays keyed by qualified name."""
-        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+        """Copies of all parameter *and buffer* arrays, keyed by qualified name."""
+        state = {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+        for name, buffer in self.named_buffers():
+            state[name] = buffer.copy()
+        return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load parameter values produced by :meth:`state_dict`."""
-        own = dict(self.named_parameters())
-        missing = set(own) - set(state)
-        unexpected = set(state) - set(own)
+        """Load parameter and buffer values produced by :meth:`state_dict`.
+
+        The keys must match exactly (every parameter and registered buffer,
+        nothing else).  Buffers are restored in place so any alias held by
+        running code keeps observing the module's state.
+        """
+        own_parameters = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
+        own = set(own_parameters) | set(own_buffers)
+        missing = own - set(state)
+        unexpected = set(state) - own
         if missing or unexpected:
             raise KeyError(
                 f"state_dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
             )
-        for name, parameter in own.items():
+        for name, parameter in own_parameters.items():
             value = np.asarray(state[name], dtype=parameter.data.dtype)
             if value.shape != parameter.data.shape:
                 raise ValueError(
                     f"shape mismatch for '{name}': expected {parameter.data.shape}, got {value.shape}"
                 )
             parameter.data = value.copy()
+        for name, buffer in own_buffers.items():
+            value = np.asarray(state[name], dtype=buffer.dtype)
+            if value.shape != buffer.shape:
+                raise ValueError(
+                    f"shape mismatch for '{name}': expected {buffer.shape}, got {value.shape}"
+                )
+            buffer[...] = value
 
     # ------------------------------------------------------------------
     # Call protocol

@@ -8,11 +8,21 @@ compare both.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
 
 from repro.tensor import Tensor
+
+
+def _load_indexed_arrays(target: Dict[int, np.ndarray], source: Dict, count: int) -> None:
+    """Replace ``target`` with index-keyed arrays from a state mapping."""
+    target.clear()
+    for key, value in source.items():
+        index = int(key)
+        if not 0 <= index < count:
+            raise IndexError(f"optimizer state index {index} out of range [0, {count})")
+        target[index] = np.asarray(value)
 
 
 class Optimizer:
@@ -33,6 +43,24 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Index-keyed snapshot of the optimizer's mutable state.
+
+        Stateless optimizers return an empty dict; subclasses with
+        per-parameter state override this (and :meth:`load_state_dict`).
+        Keys are parameter *indices* in the managed list — the same
+        pickle-stable keying the engine's slot accessors use — so the
+        snapshot survives serialization and process boundaries.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} carries no state, got keys {sorted(state)}"
+            )
 
 
 class SGD(Optimizer):
@@ -73,6 +101,16 @@ class SGD(Optimizer):
                 self._velocity[index] = velocity
                 grad = velocity
             parameter.data = parameter.data - self.lr * grad
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Momentum velocities keyed by parameter index."""
+        return {"velocity": {index: v.copy() for index, v in self._velocity.items()}}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore velocities from a :meth:`state_dict` snapshot."""
+        _load_indexed_arrays(
+            self._velocity, state.get("velocity", {}), len(self.parameters)
+        )
 
 
 class Adam(Optimizer):
@@ -126,6 +164,30 @@ class Adam(Optimizer):
             first_hat = first / (1.0 - self.beta1 ** step)
             second_hat = second / (1.0 - self.beta2 ** step)
             parameter.data = parameter.data - self.lr * first_hat / (np.sqrt(second_hat) + self.eps)
+
+    # ------------------------------------------------------------------
+    # Serialization (used by repro.artifacts checkpoints)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Step counts and both moment estimates, keyed by parameter index."""
+        return {
+            "steps": {index: int(step) for index, step in self._steps.items()},
+            "first_moment": {index: m.copy() for index, m in self._first_moment.items()},
+            "second_moment": {index: m.copy() for index, m in self._second_moment.items()},
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (bitwise: the next
+        :meth:`step` continues exactly where the saved optimizer left off)."""
+        count = len(self.parameters)
+        self._steps.clear()
+        for key, step in state.get("steps", {}).items():
+            index = int(key)
+            if not 0 <= index < count:
+                raise IndexError(f"optimizer state index {index} out of range [0, {count})")
+            self._steps[index] = int(step)
+        _load_indexed_arrays(self._first_moment, state.get("first_moment", {}), count)
+        _load_indexed_arrays(self._second_moment, state.get("second_moment", {}), count)
 
     # ------------------------------------------------------------------
     # State transfer (used by repro.engine to stack per-client optimizers)

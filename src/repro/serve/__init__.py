@@ -1,0 +1,35 @@
+"""Query-time serving: batched top-k recommendations from artifacts.
+
+The deployment half of the lifecycle: :mod:`repro.artifacts` makes a
+trained run durable, and this package answers recommendation queries from
+it.
+
+* :class:`Recommender` — a service facade over any trained
+  :class:`repro.models.base.Recommender`: ``recommend(users, k,
+  exclude_seen=True)`` ranks whole user cohorts through the batched
+  scoring paths of :mod:`repro.serve.scoring` (one matmul per cohort for
+  the embedding dot-product architectures, a single flattened tensor pass
+  otherwise), with an LRU score cache for hot users and a popularity
+  fallback for cold-start users;
+* ``Recommender.from_checkpoint(path)`` — stand up the service straight
+  from a saved artifact (PTF-FedRec artifacts serve the provider's hidden
+  server model, exactly what the paper's deployment story implies).
+
+Quickstart::
+
+    import repro
+    from repro.serve import Recommender
+
+    spec = repro.ExperimentSpec(trainer="ptf", protocol={"rounds": 5})
+    result = repro.run(spec, callbacks=[
+        repro.artifacts.CheckpointEveryK("ckpts", every=5)
+    ])
+
+    service = Recommender.from_checkpoint("ckpts/latest")
+    top10 = service.recommend([0, 1, 2], k=10)   # (3, 10) ranked item ids
+"""
+
+from repro.serve.recommender import Recommender
+from repro.serve.scoring import batch_scores
+
+__all__ = ["Recommender", "batch_scores"]

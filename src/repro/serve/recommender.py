@@ -1,0 +1,216 @@
+"""The query-time ``Recommender`` service facade.
+
+Wraps a trained :class:`repro.models.base.Recommender` (typically restored
+from a :mod:`repro.artifacts` checkpoint) behind the API a serving tier
+needs: batched top-k queries, seen-item exclusion, an LRU score cache for
+hot users, and a popularity fallback for cold-start users the model has
+never trained on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.models.base import Recommender as RecommenderModel
+from repro.models.popularity import PopularityRecommender
+from repro.serve.scoring import batch_scores
+
+_EMPTY_ITEMS = np.empty(0, dtype=np.int64)
+
+
+class Recommender:
+    """Batched top-k recommendation service over a trained model.
+
+    ``seen_items`` maps user id -> the items that user already interacted
+    with; ``recommend(..., exclude_seen=True)`` masks them out, matching
+    the training-time full-ranking protocol.  Users absent from
+    ``seen_items`` (and ids beyond the model's user table) are treated as
+    *cold* and answered from ``popularity`` (per-item interaction counts)
+    instead of the personalized model.
+
+    Score rows are cached per user in an LRU of ``cache_size`` entries, so
+    hot users cost one ``argpartition`` per query instead of a model pass.
+    The facade treats the model as an immutable snapshot — call
+    :meth:`clear_cache` if the underlying model is trained further.
+    """
+
+    def __init__(
+        self,
+        model: RecommenderModel,
+        seen_items: Optional[Mapping[int, np.ndarray]] = None,
+        popularity: Optional[np.ndarray] = None,
+        cache_size: int = 256,
+    ):
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be non-negative, got {cache_size}")
+        self.model = model
+        self.num_items = int(model.num_items)
+        self._seen: Dict[int, np.ndarray] = {
+            int(user): np.asarray(items, dtype=np.int64)
+            for user, items in (seen_items or {}).items()
+        }
+        self._known_users = set(self._seen) if seen_items is not None else None
+        if popularity is not None:
+            # The cold-start path *is* the popularity baseline model; its
+            # normalized score vector doubles as the fallback score row.
+            model_fallback = PopularityRecommender(num_users=1, num_items=self.num_items)
+            popularity = model_fallback.fit(popularity).score_all_items(0)
+        self._popularity = popularity
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Construction from artifacts
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: Union[str, Path],
+        dataset: Optional[InteractionDataset] = None,
+        cache_size: int = 256,
+    ) -> "Recommender":
+        """Build the service from a :func:`repro.artifacts.save_checkpoint` artifact.
+
+        The artifact is self-contained: the model is restored through the
+        trainer registry (PTF-FedRec serves its hidden server model) and
+        the embedded dataset supplies seen items and item popularity.
+        """
+        from repro.artifacts import load_checkpoint
+
+        checkpoint = load_checkpoint(path)
+        if dataset is None:
+            dataset = checkpoint.dataset()
+        adapter = checkpoint.restore(dataset)
+        return cls.from_trainer(adapter, dataset, cache_size=cache_size)
+
+    @classmethod
+    def from_trainer(
+        cls,
+        trainer,
+        dataset: InteractionDataset,
+        cache_size: int = 256,
+    ) -> "Recommender":
+        """Build the service from a (trained) trainer adapter in memory."""
+        return cls(
+            model=trainer.serving_model(),
+            seen_items={user: dataset.train_items(user) for user in dataset.users},
+            popularity=dataset.item_popularity(),
+            cache_size=cache_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _is_cold(self, user: int) -> bool:
+        if user < 0 or user >= self.model.num_users:
+            return True
+        return self._known_users is not None and user not in self._known_users
+
+    def scores(self, users: Union[int, Sequence[int], np.ndarray]) -> np.ndarray:
+        """Raw score rows for a cohort; shape ``(len(users), num_items)``.
+
+        Cache hits are served from the LRU; the remaining warm users are
+        scored as **one** batched cohort (see
+        :mod:`repro.serve.scoring`); cold users get the popularity row.
+        """
+        users = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        if users.size == 0:
+            return np.empty((0, self.num_items), dtype=np.float64)
+        rows: Dict[int, np.ndarray] = {}
+        fresh: list = []
+        for user in dict.fromkeys(map(int, users)):  # unique, order-preserving
+            cached = self._cache_get(user)
+            if cached is not None:
+                rows[user] = cached
+            elif self._is_cold(user):
+                if self._popularity is None:
+                    raise IndexError(
+                        f"user {user} is unknown to the served model and no "
+                        "popularity fallback was configured"
+                    )
+                rows[user] = self._popularity
+            else:
+                fresh.append(user)
+        if fresh:
+            cohort = np.asarray(fresh, dtype=np.int64)
+            for user, row in zip(fresh, batch_scores(self.model, cohort)):
+                rows[user] = row
+                self._cache_put(user, row)
+        return np.stack([rows[int(user)] for user in users])
+
+    def _cache_get(self, user: int) -> Optional[np.ndarray]:
+        row = self._cache.get(user)
+        if row is None:
+            self.cache_misses += 1
+            return None
+        self._cache.move_to_end(user)
+        self.cache_hits += 1
+        return row
+
+    def _cache_put(self, user: int, row: np.ndarray) -> None:
+        if self.cache_size == 0:
+            return
+        # Copy: ``row`` is a view into the cohort's full score matrix, and
+        # caching the view would pin the whole matrix in memory.
+        self._cache[user] = row.copy()
+        self._cache.move_to_end(user)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def clear_cache(self) -> None:
+        """Drop every cached score row (after further training, say)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        users: Union[int, Sequence[int], np.ndarray],
+        k: int = 20,
+        exclude_seen: bool = True,
+    ) -> np.ndarray:
+        """Top-``k`` item ids per user, best first; shape ``(len(users), k)``.
+
+        A scalar ``users`` returns a 1-D ``(k,)`` array.  With
+        ``exclude_seen`` each user's known interactions are masked before
+        the cut — the serving twin of the paper's "rank all items the user
+        has not interacted with".  The whole cohort is ranked with one
+        vectorized partition/sort, no per-user Python loop.
+        """
+        scalar = np.isscalar(users) or (
+            isinstance(users, np.ndarray) and users.ndim == 0
+        )
+        users = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        k = min(int(k), self.num_items)
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        scores = self.scores(users).copy()
+        if exclude_seen:
+            seen_rows = [
+                self._seen.get(int(user), _EMPTY_ITEMS) for user in users
+            ]
+            sizes = np.fromiter((row.size for row in seen_rows), dtype=np.int64,
+                                count=len(seen_rows))
+            if sizes.any():
+                # One fancy-indexed assignment for the whole cohort instead
+                # of a Python masking loop per user.
+                scores[np.repeat(np.arange(users.size), sizes),
+                       np.concatenate(seen_rows)] = -np.inf
+        top = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
+        order = np.argsort(-np.take_along_axis(scores, top, axis=1), axis=1)
+        ranked = np.take_along_axis(top, order, axis=1)
+        return ranked[0] if scalar else ranked
+
+    def __repr__(self) -> str:
+        return (
+            f"serve.Recommender(model={type(self.model).__name__}, "
+            f"items={self.num_items}, cache={len(self._cache)}/{self.cache_size})"
+        )

@@ -1,0 +1,305 @@
+"""Tests for repro.artifacts: checkpoint format, resume fidelity, callbacks.
+
+The headline contract: ``repro.run(spec)`` for N rounds equals
+checkpoint-at-N/2 followed by ``repro.run(spec, resume_from=...)``
+**bit-identically** — metrics compared with ``==``, final parameters with
+exact array equality — for every trainer and every execution scheduler.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.artifacts import (
+    SCHEMA_VERSION,
+    CheckpointEveryK,
+    dataset_fingerprint,
+    flatten_state,
+    load_checkpoint,
+    save_checkpoint,
+    unflatten_state,
+)
+from repro.core import PTFConfig
+from repro.experiments import (
+    CommunicationSummary,
+    ExperimentSpec,
+    PrivacySummary,
+    RoundRecord,
+    RunResult,
+    create_trainer,
+)
+
+ROUNDS = 4
+HALF = ROUNDS // 2
+
+
+def tiny_spec(trainer: str = "ptf", **overrides) -> ExperimentSpec:
+    base = dict(
+        trainer=trainer,
+        seed=11,
+        embedding_dim=8,
+        rounds=ROUNDS,
+        client_local_epochs=1,
+        server_epochs=1,
+        alpha=10,
+    )
+    base.update(overrides)
+    trainer = base.pop("trainer")
+    seed = base.pop("seed")
+    return ExperimentSpec.from_flat(trainer=trainer, seed=seed, **base)
+
+
+def assert_states_equal(left: dict, right: dict, path: str = "") -> None:
+    """Exact (bitwise) equality of two state trees."""
+    assert type(left) is type(right) or (
+        isinstance(left, (int, float)) and isinstance(right, (int, float))
+    ), f"type mismatch at {path}: {type(left)} vs {type(right)}"
+    if isinstance(left, dict):
+        assert set(left) == set(right), f"key mismatch at {path}"
+        for key in left:
+            assert_states_equal(left[key], right[key], f"{path}/{key}")
+    elif isinstance(left, (list, tuple)):
+        assert len(left) == len(right), f"length mismatch at {path}"
+        for index, (a, b) in enumerate(zip(left, right)):
+            assert_states_equal(a, b, f"{path}/{index}")
+    elif isinstance(left, np.ndarray):
+        assert left.dtype == right.dtype, f"dtype mismatch at {path}"
+        assert np.array_equal(left, right), f"array mismatch at {path}"
+    else:
+        assert left == right, f"value mismatch at {path}: {left!r} vs {right!r}"
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+class TestWireFormat:
+    def test_flatten_roundtrip(self):
+        tree = {
+            "model": {"w.weight": np.arange(6.0).reshape(2, 3)},
+            "steps": {"0": 3},
+            "history": [1.5, {"nested": np.array([1, 2])}],
+            "name": "x",
+            "none": None,
+        }
+        twin, arrays = flatten_state(tree)
+        json.dumps(twin)  # the twin must be JSON-safe
+        rebuilt = unflatten_state(twin, arrays)
+        assert_states_equal(rebuilt, tree)
+
+    def test_flatten_paths_are_readable(self):
+        _, arrays = flatten_state({"server": {"model": {"w": np.zeros(2)}}})
+        assert list(arrays) == ["server/model/w"]
+
+    def test_manifest_contents(self, tiny_dataset, tmp_path):
+        spec = tiny_spec(rounds=1)
+        adapter = create_trainer(spec, tiny_dataset).fit()
+        save_checkpoint(tmp_path / "ck", adapter)
+        manifest = json.loads((tmp_path / "ck" / "manifest.json").read_text())
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert manifest["trainer"] == "ptf"
+        assert manifest["rounds_completed"] == 1
+        assert manifest["spec"] == spec.to_dict()
+        assert manifest["fingerprint"] == dataset_fingerprint(tiny_dataset)
+        assert (tmp_path / "ck" / manifest["arrays_file"]).exists()
+
+    def test_unknown_schema_version_rejected(self, tiny_dataset, tmp_path):
+        spec = tiny_spec(rounds=1)
+        adapter = create_trainer(spec, tiny_dataset).fit()
+        save_checkpoint(tmp_path / "ck", adapter)
+        manifest_path = tmp_path / "ck" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema_version"] = SCHEMA_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="schema version"):
+            load_checkpoint(tmp_path / "ck")
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nope")
+
+    def test_checkpoint_is_self_contained(self, tiny_dataset, tmp_path):
+        spec = tiny_spec(rounds=1)
+        adapter = create_trainer(spec, tiny_dataset).fit()
+        save_checkpoint(tmp_path / "ck", adapter)
+        checkpoint = load_checkpoint(tmp_path / "ck")
+        rebuilt = checkpoint.dataset()
+        assert dataset_fingerprint(rebuilt) == dataset_fingerprint(tiny_dataset)
+        assert rebuilt.name == tiny_dataset.name
+
+    def test_fingerprint_mismatch_rejected(self, tiny_dataset, small_dataset, tmp_path):
+        spec = tiny_spec(rounds=1)
+        adapter = create_trainer(spec, tiny_dataset).fit()
+        save_checkpoint(tmp_path / "ck", adapter)
+        checkpoint = load_checkpoint(tmp_path / "ck")
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            checkpoint.restore(small_dataset)
+
+
+# ----------------------------------------------------------------------
+# Resume fidelity (the acceptance bar)
+# ----------------------------------------------------------------------
+class TestResumeFidelity:
+    @pytest.mark.parametrize("trainer", ["ptf", "fcf", "fedmf", "metamf", "centralized"])
+    def test_resume_is_bit_identical(self, trainer, tiny_dataset, tmp_path):
+        spec = tiny_spec(trainer)
+        full = repro.run(spec, tiny_dataset)
+
+        callback = CheckpointEveryK(tmp_path / "ck", every=HALF, save_on_fit_end=False)
+        repro.run(spec.replace(rounds=HALF), tiny_dataset, callbacks=[callback])
+        resumed = repro.run(spec, tiny_dataset, resume_from=tmp_path / "ck" / "latest")
+
+        # Metrics compare with == (not allclose): same bits or bust.
+        assert resumed.rounds_completed == full.rounds_completed == ROUNDS
+        assert resumed.history == full.history
+        assert resumed.final == full.final
+        assert resumed.communication == full.communication
+        assert resumed.privacy == full.privacy
+
+    @pytest.mark.parametrize("trainer", ["ptf", "fcf", "centralized"])
+    def test_final_parameters_are_bit_identical(self, trainer, tiny_dataset, tmp_path):
+        spec = tiny_spec(trainer)
+        full = create_trainer(spec, tiny_dataset).fit()
+
+        callback = CheckpointEveryK(tmp_path / "ck", every=HALF, save_on_fit_end=False)
+        repro.run(spec.replace(rounds=HALF), tiny_dataset, callbacks=[callback])
+        resumed = load_checkpoint(tmp_path / "ck" / "latest").restore(tiny_dataset)
+        resumed.fit(rounds=ROUNDS - HALF)
+
+        assert_states_equal(resumed.state_dict(), full.state_dict())
+
+    def test_resume_uses_embedded_dataset_by_default(self, tiny_dataset, tmp_path):
+        spec = tiny_spec()
+        full = repro.run(spec, tiny_dataset)
+        callback = CheckpointEveryK(tmp_path / "ck", every=HALF, save_on_fit_end=False)
+        repro.run(spec.replace(rounds=HALF), tiny_dataset, callbacks=[callback])
+        resumed = repro.run(spec, resume_from=tmp_path / "ck" / "latest")
+        assert resumed.final == full.final
+
+    def test_resume_can_extend_a_finished_run(self, tiny_dataset, tmp_path):
+        spec = tiny_spec(rounds=HALF)
+        callback = CheckpointEveryK(tmp_path / "ck", every=HALF, save_on_fit_end=False)
+        repro.run(spec, tiny_dataset, callbacks=[callback])
+        extended = repro.run(
+            spec.replace(rounds=ROUNDS), tiny_dataset,
+            resume_from=tmp_path / "ck" / "latest",
+        )
+        full = repro.run(tiny_spec(rounds=ROUNDS), tiny_dataset)
+        assert extended.rounds_completed == ROUNDS
+        assert extended.history == full.history
+        assert extended.final == full.final
+
+    def test_resume_rejects_incompatible_spec(self, tiny_dataset, tmp_path):
+        spec = tiny_spec()
+        callback = CheckpointEveryK(tmp_path / "ck", every=HALF, save_on_fit_end=False)
+        repro.run(spec.replace(rounds=HALF), tiny_dataset, callbacks=[callback])
+        with pytest.raises(ValueError, match="does not match the checkpoint"):
+            repro.run(spec.replace(embedding_dim=4), tiny_dataset,
+                      resume_from=tmp_path / "ck" / "latest")
+
+    def test_checkpoint_callback_resumes_history(self, tiny_dataset, tmp_path):
+        """A checkpoint taken after a resume carries the *whole* history."""
+        spec = tiny_spec()
+        first = CheckpointEveryK(tmp_path / "ck", every=HALF, save_on_fit_end=False)
+        repro.run(spec.replace(rounds=HALF), tiny_dataset, callbacks=[first])
+        second = CheckpointEveryK(tmp_path / "ck2", every=1, save_on_fit_end=False)
+        resumed = repro.run(spec, tiny_dataset,
+                            resume_from=tmp_path / "ck" / "latest",
+                            callbacks=[second])
+        final_checkpoint = load_checkpoint(tmp_path / "ck2" / "latest")
+        assert final_checkpoint.history == resumed.history
+        assert [r.round_index for r in final_checkpoint.history] == list(range(ROUNDS))
+
+
+# ----------------------------------------------------------------------
+# Optimizer state across engine schedulers (satellite)
+# ----------------------------------------------------------------------
+class TestOptimizerStateAcrossSchedulers:
+    @pytest.mark.parametrize("scheduler", ["serial", "batched", "multiprocess"])
+    def test_reload_then_continue_matches_uninterrupted(
+        self, scheduler, tiny_dataset, tmp_path
+    ):
+        spec = tiny_spec(scheduler=scheduler, workers=2)
+        full = repro.run(spec, tiny_dataset)
+
+        callback = CheckpointEveryK(tmp_path / "ck", every=HALF, save_on_fit_end=False)
+        repro.run(spec.replace(rounds=HALF), tiny_dataset, callbacks=[callback])
+        resumed = repro.run(spec, tiny_dataset, resume_from=tmp_path / "ck" / "latest")
+        assert resumed.history == full.history
+        assert resumed.final == full.final
+
+    @pytest.mark.parametrize("scheduler", ["serial", "batched", "multiprocess"])
+    def test_adam_state_survives_checkpoint_and_pickle(
+        self, scheduler, tiny_dataset, tmp_path
+    ):
+        """Index-keyed Adam state round-trips through the artifact *and*
+        through pickle (what the multiprocess scheduler ships)."""
+        spec = tiny_spec(scheduler=scheduler, workers=2, rounds=HALF)
+        adapter = create_trainer(spec, tiny_dataset).fit()
+        save_checkpoint(tmp_path / "ck", adapter)
+
+        reloaded = load_checkpoint(tmp_path / "ck").restore(tiny_dataset)
+        user = sorted(adapter.system.clients)[0]
+        original = adapter.system.clients[user].optimizer
+        restored = reloaded.system.clients[user].optimizer
+        assert original.has_state() and restored.has_state()
+        assert_states_equal(restored.state_dict(), original.state_dict())
+
+        pickled = pickle.loads(pickle.dumps(restored))
+        assert_states_equal(pickled.state_dict(), original.state_dict())
+
+
+# ----------------------------------------------------------------------
+# RunResult / summary round-trips (satellite)
+# ----------------------------------------------------------------------
+class TestResultRoundTrips:
+    def test_round_record_roundtrip(self):
+        record = RoundRecord(3, {"client_loss": 0.25, "ndcg": 0.5})
+        assert RoundRecord.from_dict(record.to_dict()) == record
+
+    def test_communication_summary_roundtrip(self):
+        summary = CommunicationSummary(1024, 16, 3.5)
+        assert CommunicationSummary.from_dict(summary.to_dict()) == summary
+
+    def test_privacy_summary_roundtrip(self):
+        summary = PrivacySummary(mean_f1=0.31, guess_ratio=0.2, num_clients=25)
+        assert PrivacySummary.from_dict(summary.to_dict()) == summary
+
+    def test_run_result_roundtrip_and_save_load(self, tiny_dataset, tmp_path):
+        result = repro.run(tiny_spec(rounds=1), tiny_dataset)
+        assert RunResult.from_dict(result.to_dict()) == result
+        path = result.save(tmp_path / "deep" / "result.json")
+        assert RunResult.load(path) == result
+
+    def test_run_result_without_privacy(self, tiny_dataset, tmp_path):
+        result = repro.run(tiny_spec("fcf", rounds=1), tiny_dataset)
+        assert result.privacy is None
+        assert RunResult.from_dict(result.to_dict()) == result
+
+
+# ----------------------------------------------------------------------
+# PTFConfig deprecation contract (satellite: pinned from PR 1)
+# ----------------------------------------------------------------------
+class TestPTFConfigDeprecationContract:
+    def test_construction_emits_deprecation_warning_at_call_site(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            PTFConfig(rounds=2)
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert "PTFConfig is deprecated" in message
+        assert "ExperimentSpec" in message  # the migration hint
+        # stacklevel must point at the *caller*, so users can find the site.
+        assert deprecations[0].filename == __file__
+
+    def test_construction_raises_under_error_filter(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(DeprecationWarning):
+                PTFConfig()

@@ -60,4 +60,6 @@ def test_internal_links_resolve(doc_path):
 
 def test_docs_suite_is_complete():
     names = {path.name for path in DOC_FILES}
-    assert {"README.md", "architecture.md", "api.md", "reproducing.md"} <= names
+    assert {
+        "README.md", "architecture.md", "api.md", "serving.md", "reproducing.md"
+    } <= names

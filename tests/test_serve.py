@@ -1,0 +1,211 @@
+"""Tests for repro.serve: batched scoring parity, caching, cold start.
+
+The facade's contract: ``recommend`` over a cohort answers exactly what
+the per-user serial path would answer (same scores, same masking, same
+grading by the ranking evaluator), just computed as one batched pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.artifacts import CheckpointEveryK
+from repro.eval.ranking import RankingEvaluator
+from repro.experiments import ExperimentSpec, create_trainer
+from repro.models.popularity import PopularityRecommender
+from repro.serve import Recommender, batch_scores
+
+
+def served_spec(trainer: str = "ptf", **overrides) -> ExperimentSpec:
+    base = dict(
+        trainer=trainer,
+        seed=29,
+        embedding_dim=8,
+        rounds=2,
+        client_local_epochs=1,
+        server_epochs=1,
+        alpha=10,
+    )
+    base.update(overrides)
+    trainer = base.pop("trainer")
+    seed = base.pop("seed")
+    return ExperimentSpec.from_flat(trainer=trainer, seed=seed, **base)
+
+
+@pytest.fixture
+def trained(tiny_dataset):
+    """A trained PTF adapter + its serving facade."""
+    adapter = create_trainer(served_spec(), tiny_dataset).fit()
+    return adapter, Recommender.from_trainer(adapter, tiny_dataset)
+
+
+# ----------------------------------------------------------------------
+# Batched scoring parity with the serial per-user path
+# ----------------------------------------------------------------------
+class TestBatchScores:
+    # Covers every closed form (mf via fcf, metamf, graph via ptf/ngcf)
+    # plus the flat all-pairs fallback (neumf via centralized).
+    @pytest.mark.parametrize("trainer,overrides", [
+        ("ptf", {"server_model": "ngcf"}),
+        ("ptf", {"server_model": "lightgcn"}),
+        ("fcf", {}),
+        ("metamf", {}),
+        ("centralized", {"server_model": "neumf"}),
+        ("centralized", {"server_model": "mf"}),
+    ])
+    def test_matches_score_all_items(self, trainer, overrides, tiny_dataset):
+        adapter = create_trainer(served_spec(trainer, **overrides), tiny_dataset).fit()
+        model = adapter.serving_model()
+        users = np.asarray(tiny_dataset.users[:8], dtype=np.int64)
+        matrix = batch_scores(model, users)
+        assert matrix.shape == (users.size, model.num_items)
+        for row, user in zip(matrix, users):
+            np.testing.assert_allclose(
+                row, model.score_all_items(int(user)), rtol=1e-10, atol=1e-12
+            )
+
+    def test_out_of_range_user_raises(self, trained):
+        adapter, _ = trained
+        with pytest.raises(IndexError):
+            batch_scores(adapter.serving_model(), np.array([10_000]))
+
+    def test_empty_cohort(self, trained):
+        adapter, _ = trained
+        matrix = batch_scores(adapter.serving_model(), np.array([], dtype=np.int64))
+        assert matrix.shape == (0, adapter.serving_model().num_items)
+
+
+# ----------------------------------------------------------------------
+# The service facade
+# ----------------------------------------------------------------------
+class TestRecommender:
+    def test_recommend_shapes(self, trained):
+        _, service = trained
+        batch = service.recommend([0, 1, 2], k=5)
+        assert batch.shape == (3, 5)
+        single = service.recommend(0, k=5)
+        assert single.shape == (5,)
+        np.testing.assert_array_equal(single, batch[0])
+
+    def test_recommend_excludes_seen(self, trained, tiny_dataset):
+        _, service = trained
+        users = tiny_dataset.users[:10]
+        ranked = service.recommend(users, k=10)
+        for row, user in zip(ranked, users):
+            assert not set(row.tolist()) & set(tiny_dataset.train_items(user).tolist())
+
+    def test_recommend_can_include_seen(self, trained):
+        _, service = trained
+        ranked = service.recommend([0], k=service.num_items, exclude_seen=False)
+        assert sorted(ranked[0].tolist()) == list(range(service.num_items))
+
+    def test_matches_serial_model_recommend(self, trained, tiny_dataset):
+        """Cohort answers == the per-user serial baseline's answers."""
+        adapter, service = trained
+        model = adapter.serving_model()
+        users = tiny_dataset.users[:10]
+        batched = service.recommend(users, k=10)
+        for row, user in zip(batched, users):
+            serial = model.recommend(
+                user, k=10, exclude_items=tiny_dataset.train_items(user)
+            )
+            np.testing.assert_array_equal(row, serial)
+
+    def test_served_topk_grades_like_the_evaluator(self, trained, tiny_dataset):
+        """Grading served lists with result_for_recommendations reproduces
+        the training-time evaluation exactly."""
+        adapter, service = trained
+        evaluator = RankingEvaluator(tiny_dataset, k=10)
+        users = tiny_dataset.users
+        served = {user: service.recommend(user, k=10) for user in users}
+        graded = evaluator.evaluate_recommendation_lists(served)
+        reference = evaluator.evaluate(adapter.serving_model(), users=users)
+        assert graded == reference
+
+
+class TestColdStart:
+    def test_unknown_user_gets_popularity(self, trained, tiny_dataset):
+        _, service = trained
+        cold_user = 10_000
+        ranked = service.recommend(cold_user, k=5)
+        reference = PopularityRecommender(1, tiny_dataset.num_items)
+        reference.fit(tiny_dataset.item_popularity())
+        np.testing.assert_array_equal(ranked, reference.recommend(0, k=5))
+
+    def test_user_without_interactions_is_cold(self, trained, tiny_dataset):
+        """An in-range user absent from seen_items is cold, not personalized."""
+        adapter, _ = trained
+        missing = tiny_dataset.users[0]
+        seen = {user: tiny_dataset.train_items(user)
+                for user in tiny_dataset.users if user != missing}
+        service = Recommender(
+            adapter.serving_model(), seen_items=seen,
+            popularity=tiny_dataset.item_popularity(),
+        )
+        reference = PopularityRecommender(1, tiny_dataset.num_items)
+        reference.fit(tiny_dataset.item_popularity())
+        np.testing.assert_array_equal(
+            service.scores(missing)[0], reference.score_all_items(0)
+        )
+        # ...while a user that *is* in seen_items gets model scores.
+        warm = tiny_dataset.users[1]
+        np.testing.assert_allclose(
+            service.scores(warm)[0],
+            adapter.serving_model().score_all_items(warm),
+            rtol=1e-10, atol=1e-12,
+        )
+
+    def test_unknown_user_without_fallback_raises(self, trained):
+        adapter, _ = trained
+        bare = Recommender(adapter.serving_model())
+        with pytest.raises(IndexError, match="unknown"):
+            bare.scores(10_000)
+
+
+class TestScoreCache:
+    def test_repeat_queries_hit_the_cache(self, trained):
+        _, service = trained
+        first = service.scores([0, 1])
+        assert (service.cache_hits, service.cache_misses) == (0, 2)
+        second = service.scores([0, 1])
+        assert service.cache_hits == 2
+        np.testing.assert_array_equal(first, second)
+
+    def test_lru_evicts_oldest(self, trained, tiny_dataset):
+        adapter, _ = trained
+        service = Recommender.from_trainer(adapter, tiny_dataset, cache_size=2)
+        service.scores([0]); service.scores([1]); service.scores([2])
+        service.scores([0])  # 0 was evicted by 2 -> a miss again
+        assert service.cache_hits == 0
+        assert service.cache_misses == 4
+
+    def test_duplicate_users_in_one_query(self, trained):
+        _, service = trained
+        rows = service.scores([3, 3, 3])
+        np.testing.assert_array_equal(rows[0], rows[1])
+        np.testing.assert_array_equal(rows[0], rows[2])
+        assert service.cache_misses == 1
+
+    def test_clear_cache(self, trained):
+        _, service = trained
+        service.scores([0])
+        service.clear_cache()
+        service.scores([0])
+        assert service.cache_misses == 2
+
+
+class TestFromCheckpoint:
+    def test_checkpoint_and_in_memory_services_agree(self, tiny_dataset, tmp_path):
+        spec = served_spec()
+        callback = CheckpointEveryK(tmp_path / "ck", every=2, spec=spec)
+        adapter = create_trainer(spec, tiny_dataset)
+        adapter.fit(callbacks=[callback])
+
+        from_memory = Recommender.from_trainer(adapter, tiny_dataset)
+        from_artifact = Recommender.from_checkpoint(tmp_path / "ck" / "latest")
+        users = tiny_dataset.users[:10]
+        np.testing.assert_array_equal(
+            from_memory.recommend(users, k=10), from_artifact.recommend(users, k=10)
+        )
