@@ -14,6 +14,7 @@ from repro.data.dataset import InteractionDataset
 from repro.data.loaders import BatchIterator
 from repro.data.sampling import build_pointwise_samples
 from repro.eval.ranking import RankingEvaluator, RankingResult
+from repro.eval.scoring import DEFAULT_CHUNK_SIZE
 from repro.models.base import Recommender
 from repro.nn.losses import PointwiseBCELoss
 from repro.optim import Adam
@@ -116,10 +117,20 @@ class CentralizedTrainer:
         hooks.on_fit_end(self)
         return self
 
-    def evaluate(self, k: int = 20, max_users: Optional[int] = None) -> RankingResult:
-        """Evaluate the trained model on the dataset's test split."""
+    def evaluate(
+        self,
+        k: int = 20,
+        max_users: Optional[int] = None,
+        batch_size: Optional[int] = DEFAULT_CHUNK_SIZE,
+    ) -> RankingResult:
+        """Evaluate the trained model on the dataset's test split.
+
+        ``batch_size`` chooses the evaluator's execution path (chunked
+        cohort scoring by default, the per-user reference loop with
+        ``None``); both return equal results.
+        """
         evaluator = RankingEvaluator(self.dataset, k=k)
-        return evaluator.evaluate(self.model, max_users=max_users)
+        return evaluator.evaluate(self.model, max_users=max_users, batch_size=batch_size)
 
     # ------------------------------------------------------------------
     # Serialization (used by repro.artifacts checkpoints)

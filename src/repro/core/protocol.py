@@ -13,7 +13,10 @@ from repro.core.config import PTFConfig, ensure_spec, legacy_config_view
 from repro.core.server import PTFServer
 from repro.data.dataset import InteractionDataset
 from repro.engine import create_scheduler
+from repro.engine.batch import stack_models
 from repro.eval.ranking import RankingEvaluator, RankingResult
+from repro.eval.scoring import DEFAULT_CHUNK_SIZE
+from repro.tensor import no_grad
 from repro.federated.communication import CommunicationLedger, prediction_triple_bytes
 from repro.utils.rng import RngFactory
 
@@ -242,12 +245,29 @@ class PTFFedRec:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
-    def evaluate(self, k: int = 20, max_users: Optional[int] = None) -> RankingResult:
-        """Rank with the *server* model (the trained global recommender)."""
-        evaluator = RankingEvaluator(self.dataset, k=k)
-        return evaluator.evaluate(self.server.model, max_users=max_users)
+    def evaluate(
+        self,
+        k: int = 20,
+        max_users: Optional[int] = None,
+        batch_size: Optional[int] = DEFAULT_CHUNK_SIZE,
+    ) -> RankingResult:
+        """Rank with the *server* model (the trained global recommender).
 
-    def evaluate_client_models(self, k: int = 20, max_users: Optional[int] = None) -> RankingResult:
+        ``batch_size`` chooses the evaluator's execution path (chunked
+        cohort scoring by default, the per-user reference loop with
+        ``None``); both return equal results.
+        """
+        evaluator = RankingEvaluator(self.dataset, k=k)
+        return evaluator.evaluate(
+            self.server.model, max_users=max_users, batch_size=batch_size
+        )
+
+    def evaluate_client_models(
+        self,
+        k: int = 20,
+        max_users: Optional[int] = None,
+        batch_size: Optional[int] = DEFAULT_CHUNK_SIZE,
+    ) -> RankingResult:
         """Average ranking quality of the clients' local models.
 
         Not a paper table, but useful for analysis: it shows how much of
@@ -255,13 +275,46 @@ class PTFFedRec:
         Each client model scores its own catalogue (the model holds a
         single user row, index 0) and the evaluator grades the scores
         against that user's held-out items.
+
+        With the default ``batch_size``, cohorts of client models are
+        stacked into one vectorized forward over the full catalogue
+        (:func:`repro.engine.batch.stack_models` — the same machinery the
+        execution engine trains them with) where the client architecture
+        supports it; ``batch_size=None`` runs the per-user reference path.
+        Both paths return equal results.
         """
         evaluator = RankingEvaluator(self.dataset, k=k)
-        return evaluator.evaluate_per_user_scores(
-            lambda user: self.clients[user].model.score_all_items(0),
-            users=sorted(self.clients),
+        users = sorted(self.clients)
+        if batch_size is None:
+            return evaluator.evaluate_per_user_scores(
+                lambda user: self.clients[user].model.score_all_items(0),
+                users=users,
+                max_users=max_users,
+            )
+        return evaluator.evaluate_score_matrices(
+            self._client_score_matrix,
+            users=users,
             max_users=max_users,
+            batch_size=batch_size,
         )
+
+    def _client_score_matrix(self, users: np.ndarray) -> np.ndarray:
+        """Full-catalogue score rows for a cohort of clients' local models.
+
+        Stacks the cohort's models (each holds a single user row, index 0)
+        and scores every item with one vectorized forward; architectures
+        without a stacked implementation fall back to per-model scoring,
+        which produces the identical matrix one row at a time.
+        """
+        models = [self.clients[int(user)].model for user in users]
+        stacked = stack_models(models, user_rows=[0] * len(models))
+        if stacked is None:
+            return np.stack([model.score_all_items(0) for model in models])
+        num_items = self.dataset.num_items
+        items = np.tile(np.arange(num_items, dtype=np.int64), (len(models), 1))
+        with no_grad():
+            scores = stacked.forward(items, training=False)
+        return np.asarray(scores.numpy(), dtype=np.float64)
 
     def audit_privacy(self, guess_ratio: float = 0.2) -> AttackReport:
         """Run the Top Guess Attack against the most recent round's uploads."""

@@ -450,9 +450,10 @@ def stack_models(models: Sequence, user_rows: Sequence[int]):
     the FedAvg baselines pass each client's user id into the shared tables.
     Dispatch is duck-typed so this module never has to import the model
     classes (which would close an import cycle through the protocol code).
-    The serving tier reuses the same ``supports`` predicates to pick its
-    closed-form cohort scorers (:mod:`repro.serve.scoring`), so training
-    and query-time batching recognize architectures consistently.
+    The shared cohort scorer reuses the same ``supports`` predicates to
+    pick its closed forms (:mod:`repro.eval.scoring`), so training-time
+    batching, batched evaluation and query-time serving recognize
+    architectures consistently.
     """
     if not models:
         return None

@@ -2,9 +2,14 @@
 
 The paper reports Recall@20 and NDCG@20 over all non-interacted items, and
 uses F1 to measure the Top Guess Attack's inference quality (Section IV-B).
+:class:`RankingEvaluator` runs the full-ranking protocol batched by
+default — cohorts of users scored through :func:`batch_scores`, ranked and
+graded as ``(users, K)`` matrices — with the per-user loop kept as the
+bit-identical reference path (``batch_size=None``).
 """
 
 from repro.eval.metrics import (
+    batch_metrics_at_k,
     recall_at_k,
     ndcg_at_k,
     precision_at_k,
@@ -12,8 +17,10 @@ from repro.eval.metrics import (
     f1_score,
 )
 from repro.eval.ranking import RankingEvaluator, RankingResult
+from repro.eval.scoring import DEFAULT_CHUNK_SIZE, batch_scores
 
 __all__ = [
+    "batch_metrics_at_k",
     "recall_at_k",
     "ndcg_at_k",
     "precision_at_k",
@@ -21,4 +28,6 @@ __all__ = [
     "f1_score",
     "RankingEvaluator",
     "RankingResult",
+    "DEFAULT_CHUNK_SIZE",
+    "batch_scores",
 ]

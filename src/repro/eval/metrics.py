@@ -55,6 +55,62 @@ def ndcg_at_k(recommended: Sequence[int], relevant: Iterable[int], k: int) -> fl
     return dcg / ideal if ideal > 0 else 0.0
 
 
+def batch_metrics_at_k(relevance: np.ndarray, relevant_counts: np.ndarray, k: int):
+    """All four ranking metrics for a whole cohort at once.
+
+    ``relevance`` is the ``(users, width)`` boolean table saying whether
+    each user's ranked item at each position is a held-out test item
+    (positions past a user's valid candidates must already be ``False``);
+    ``relevant_counts`` is each user's total number of test items.  Returns
+    ``(recall, ndcg, precision, hit_rate)`` arrays of shape ``(users,)``.
+
+    Every value is **bitwise identical** to the scalar metric functions
+    above on the same ranked list: counts divide with the same IEEE
+    division, and the DCG accumulates position by position in the same
+    order as the scalar loop (adding an exact ``0.0`` at non-relevant
+    positions), with the log discounts computed by the very same
+    ``1.0 / np.log2(position + 2)`` scalar calls.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    relevance = np.asarray(relevance, dtype=bool)
+    if relevance.ndim != 2:
+        raise ValueError(f"relevance must be 2-D (users, width), got {relevance.shape}")
+    if relevance.shape[1] > k:
+        # Grade only the top-k slots, exactly like the scalar functions'
+        # ``list(recommended)[:k]`` truncation.
+        relevance = relevance[:, :k]
+    counts = np.asarray(relevant_counts, dtype=np.int64)
+    num_users, width = relevance.shape
+    if counts.shape != (num_users,):
+        raise ValueError(
+            f"relevant_counts must have shape ({num_users},), got {counts.shape}"
+        )
+
+    hits = relevance.sum(axis=1)
+    has_relevant = counts > 0
+    recall = np.where(has_relevant, hits / np.maximum(counts, 1), 0.0)
+    precision = hits / k
+    hit_rate = (hits > 0).astype(np.float64)
+
+    # The exact discounts the scalar loop uses, and their sequential
+    # (left-to-right) prefix sums for the ideal DCG.
+    max_ideal_hits = int(min(counts.max(initial=0), k))
+    discounts = [
+        1.0 / np.log2(position + 2) for position in range(max(width, max_ideal_hits))
+    ]
+    dcg = np.zeros(num_users)
+    for position in range(width):
+        dcg = dcg + relevance[:, position] * discounts[position]
+    ideal_prefix = [0.0]
+    for discount in discounts:
+        ideal_prefix.append(ideal_prefix[-1] + discount)
+    ideal_prefix = np.asarray(ideal_prefix)
+    ideal = ideal_prefix[np.minimum(counts, k)]
+    ndcg = np.where(has_relevant & (ideal > 0), dcg / np.where(ideal > 0, ideal, 1.0), 0.0)
+    return recall, ndcg, precision, hit_rate
+
+
 def f1_score(predicted: Iterable[int], actual: Iterable[int]) -> float:
     """F1 between two item sets (used to grade the Top Guess Attack)."""
     predicted_set: Set[int] = set(int(i) for i in predicted)

@@ -4,23 +4,38 @@ Matches the paper's Section IV-B: for every user with held-out test items,
 score *all* items the user has not interacted with in training, take the
 top-K, and average Recall@K and NDCG@K over users.
 
-:class:`RankingEvaluator` owns all per-user scoring: global-model
-evaluation (:meth:`~RankingEvaluator.evaluate`) and per-user score-vector
-evaluation (:meth:`~RankingEvaluator.evaluate_user_scores`, used by
-PTF-FedRec's per-client model analysis) share the same mask / top-K /
-metric pipeline.
+:class:`RankingEvaluator` owns all scoring pipelines.  The **batched**
+path (:meth:`~RankingEvaluator.evaluate` with its default ``batch_size``)
+scores whole cohorts of users at once through
+:func:`repro.eval.scoring.batch_scores`, masks every chunk's training
+positives with one fancy-indexed assignment, cuts top-K with one
+``argpartition`` per chunk and grades the ``(users, K)`` ranked matrix
+with vectorized boolean relevance tables
+(:func:`repro.eval.metrics.batch_metrics_at_k`).  The **per-user** path
+(``batch_size=None``, and :meth:`~RankingEvaluator.evaluate_user_scores`
+for callers that supply score vectors) is the reference implementation:
+the batched path reproduces it *exactly* — same floats, same tie-breaks —
+the way the execution engine's schedulers are bit-identical to the serial
+loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Mapping, Optional
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
 import numpy as np
 
 from repro.data.dataset import InteractionDataset
-from repro.eval.metrics import hit_rate_at_k, ndcg_at_k, precision_at_k, recall_at_k
-from repro.models.base import Recommender
+from repro.eval.metrics import (
+    batch_metrics_at_k,
+    hit_rate_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.eval.scoring import DEFAULT_CHUNK_SIZE, batch_scores
+from repro.models.base import Recommender, top_k_ranked
 
 
 @dataclass(frozen=True)
@@ -69,20 +84,23 @@ class _MetricAccumulator:
         self.count = 0
 
     def add(self, result: RankingResult) -> None:
-        self.recall += result.recall
-        self.ndcg += result.ndcg
-        self.precision += result.precision
-        self.hit += result.hit_rate
+        self.add_values(result.recall, result.ndcg, result.precision, result.hit_rate)
+
+    def add_values(self, recall, ndcg, precision, hit_rate) -> None:
+        self.recall += recall
+        self.ndcg += ndcg
+        self.precision += precision
+        self.hit += hit_rate
         self.count += 1
 
     def average(self) -> RankingResult:
         if self.count == 0:
             return RankingResult(0.0, 0.0, 0.0, 0.0, self.k, 0)
         return RankingResult(
-            recall=self.recall / self.count,
-            ndcg=self.ndcg / self.count,
-            precision=self.precision / self.count,
-            hit_rate=self.hit / self.count,
+            recall=float(self.recall / self.count),
+            ndcg=float(self.ndcg / self.count),
+            precision=float(self.precision / self.count),
+            hit_rate=float(self.hit / self.count),
             k=self.k,
             num_users_evaluated=self.count,
         )
@@ -98,7 +116,7 @@ class RankingEvaluator:
         self.k = k
 
     # ------------------------------------------------------------------
-    # Per-user scoring
+    # Per-user scoring (the reference implementation)
     # ------------------------------------------------------------------
     def result_for_recommendations(
         self, recommended: np.ndarray, test_items: np.ndarray
@@ -120,7 +138,9 @@ class RankingEvaluator:
         Training positives are masked out before the top-K cut, matching
         the full-ranking protocol; the caller supplies the scores, so this
         works for models that index the user differently (e.g. a client's
-        on-device model, which always scores as user 0).
+        on-device model, which always scores as user 0).  Only valid
+        candidates (items that survive the mask) are ever recommended: when
+        fewer than K candidates remain, the graded list is that short.
         """
         scores = np.asarray(scores, dtype=np.float64)
         if scores.shape != (self.dataset.num_items,):
@@ -132,8 +152,9 @@ class RankingEvaluator:
             scores = scores.copy()
             scores[train_items] = -np.inf
         k = min(self.k, self.dataset.num_items)
-        top = np.argpartition(-scores, kth=k - 1)[:k]
-        recommended = top[np.argsort(-scores[top])]
+        recommended, valid = top_k_ranked(scores, k)
+        if valid < k:
+            recommended = recommended[:valid]
         return self.result_for_recommendations(recommended, self.dataset.test_items(user))
 
     # ------------------------------------------------------------------
@@ -144,13 +165,41 @@ class RankingEvaluator:
         model: Recommender,
         users: Optional[Iterable[int]] = None,
         max_users: Optional[int] = None,
+        batch_size: Optional[int] = DEFAULT_CHUNK_SIZE,
     ) -> RankingResult:
         """Average Recall/NDCG/Precision/HitRate at ``k`` over test users.
 
         ``max_users`` caps the number of evaluated users (deterministically,
         lowest ids first) so benchmark runs stay fast; ``None`` evaluates
         everyone with at least one test interaction.
+
+        ``batch_size`` selects the execution path: an integer (the default)
+        scores users in memory-bounded chunks of that many through
+        :func:`repro.eval.scoring.batch_scores` and ranks each chunk with
+        one vectorized partition/sort; ``None`` runs the per-user reference
+        loop (``model.recommend`` once per user).  Both paths return
+        *equal* results — same floats, same tie-breaks — the batched one is
+        just faster.
         """
+        if batch_size is not None:
+            selected = self._selected_users(users, max_users)
+            # Hold the model in eval mode across the whole chunk stream so
+            # user-independent work survives between chunks (the graph
+            # models cache their propagation while in eval mode and
+            # invalidate it on any mode flip).
+            was_training = bool(getattr(model, "training", False))
+            if was_training:
+                model.eval()
+            try:
+                return self._evaluate_chunks(
+                    lambda chunk: batch_scores(model, chunk, chunk_size=batch_size),
+                    selected,
+                    batch_size,
+                    copy_scores=False,  # batch_scores allocates fresh rows
+                )
+            finally:
+                if was_training:
+                    model.train(True)
         accumulator = _MetricAccumulator(self.k)
         for user in self._test_users(users):
             recommended = model.recommend(
@@ -197,7 +246,8 @@ class RankingEvaluator:
 
         The per-user counterpart of :meth:`evaluate`: used when every user
         has their own model (PTF-FedRec clients) rather than one shared
-        recommender.
+        recommender.  :meth:`evaluate_score_matrices` is the batched
+        (stacked-cohort) variant.
         """
         accumulator = _MetricAccumulator(self.k)
         for user in self._test_users(users):
@@ -205,6 +255,122 @@ class RankingEvaluator:
             if max_users is not None and accumulator.count >= max_users:
                 break
         return accumulator.average()
+
+    def evaluate_score_matrices(
+        self,
+        score_matrix_fn: Callable[[np.ndarray], np.ndarray],
+        users: Optional[Iterable[int]] = None,
+        max_users: Optional[int] = None,
+        batch_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> RankingResult:
+        """Average metrics where ``score_matrix_fn(chunk)`` scores a cohort.
+
+        The stacked-cohort variant of :meth:`evaluate_per_user_scores`:
+        ``score_matrix_fn`` receives an ``(U,)`` array of user ids (at most
+        ``batch_size`` of them) and returns their ``(U, num_items)`` score
+        matrix — e.g. one stacked forward over a cohort of per-client
+        models (:func:`repro.engine.batch.stack_models`).  Row ``i`` must
+        hold the same scores ``score_fn(chunk[i])`` would have produced;
+        the pipeline then equals the per-user variant exactly.
+        """
+        return self._evaluate_chunks(
+            score_matrix_fn, self._selected_users(users, max_users), batch_size
+        )
+
+    # ------------------------------------------------------------------
+    # The batched pipeline
+    # ------------------------------------------------------------------
+    def _evaluate_chunks(
+        self,
+        score_matrix_fn: Callable[[np.ndarray], np.ndarray],
+        selected: List[int],
+        batch_size: int,
+        copy_scores: bool = True,
+    ) -> RankingResult:
+        """Score/mask/cut/grade ``selected`` users ``batch_size`` at a time.
+
+        ``copy_scores`` defends callers whose ``score_matrix_fn`` returns a
+        view into live model state — the ranking step masks the matrix in
+        place; the internal ``batch_scores`` path always allocates fresh
+        rows and skips the copy.
+        """
+        if batch_size is None or batch_size <= 0:
+            raise ValueError(f"batch_size must be a positive int, got {batch_size}")
+        accumulator = _MetricAccumulator(self.k)
+        k = min(self.k, self.dataset.num_items)
+        for start in range(0, len(selected), batch_size):
+            chunk = np.asarray(selected[start:start + batch_size], dtype=np.int64)
+            scores = score_matrix_fn(chunk)
+            if copy_scores:
+                scores = np.array(scores, dtype=np.float64, copy=True)
+            else:
+                scores = np.asarray(scores, dtype=np.float64)
+            if scores.shape != (chunk.size, self.dataset.num_items):
+                raise ValueError(
+                    f"score matrix must have shape "
+                    f"({chunk.size}, {self.dataset.num_items}), got {scores.shape}"
+                )
+            ranked, valid = self._rank_chunk(chunk, scores, k)
+            relevance, counts = self._relevance_at(chunk, ranked, valid)
+            metrics = batch_metrics_at_k(relevance, counts, k)
+            for values in zip(*metrics):
+                accumulator.add_values(*values)
+        return accumulator.average()
+
+    def _rank_chunk(self, users: np.ndarray, scores: np.ndarray, k: int):
+        """Mask training positives and cut top-``k`` for one chunk in place.
+
+        Returns ``(ranked, valid)``: the ``(U, k)`` ranked item ids (ties
+        broken exactly as the per-user ``argpartition``/``argsort`` calls
+        break them — each row is the same 1-D subproblem) and each user's
+        number of valid candidates, i.e. items still scored above the
+        ``-inf`` mask.  Masked items sort to the tail of every row, so
+        positions at and beyond ``valid[i]`` are mask leakage and must be
+        ignored (truncated) by the caller.
+        """
+        train_rows = [self.dataset.train_items(user) for user in users]
+        sizes = np.fromiter(
+            (row.size for row in train_rows), dtype=np.int64, count=len(train_rows)
+        )
+        if sizes.any():
+            # One fancy-indexed assignment for the whole chunk instead of a
+            # Python masking loop per user.
+            scores[np.repeat(np.arange(users.size), sizes),
+                   np.concatenate(train_rows)] = -np.inf
+        return top_k_ranked(scores, k)
+
+    def _relevance_at(self, users: np.ndarray, ranked: np.ndarray, valid: np.ndarray):
+        """Boolean relevance of each ranked slot, plus test-item counts.
+
+        Builds one chunk-sized boolean table over the item space (instead
+        of per-user Python sets), gathers it at the ranked positions, and
+        blanks the slots past each user's valid-candidate cutoff so masked
+        leakage can never register as a hit.
+        """
+        table = np.zeros((users.size, self.dataset.num_items), dtype=bool)
+        test_rows = [self.dataset.test_items(user) for user in users]
+        counts = np.fromiter(
+            (row.size for row in test_rows), dtype=np.int64, count=len(test_rows)
+        )
+        if counts.any():
+            table[np.repeat(np.arange(users.size), counts),
+                  np.concatenate(test_rows)] = True
+        relevance = np.take_along_axis(table, ranked, axis=1)
+        relevance[np.arange(ranked.shape[1])[None, :] >= valid[:, None]] = False
+        return relevance, counts
+
+    # ------------------------------------------------------------------
+    # User selection
+    # ------------------------------------------------------------------
+    def _selected_users(
+        self, users: Optional[Iterable[int]], max_users: Optional[int]
+    ) -> List[int]:
+        """Eligible users as a list, capped at ``max_users`` like the
+        per-user loops cap their accumulators."""
+        selected = list(self._test_users(users))
+        if max_users is not None:
+            selected = selected[:max_users]
+        return selected
 
     def _test_users(self, users: Optional[Iterable[int]]) -> Iterable[int]:
         """Users with at least one held-out test interaction, in order."""

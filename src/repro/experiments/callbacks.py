@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.eval.scoring import DEFAULT_CHUNK_SIZE
+
 
 class Callback:
     """Base class; override any subset of the hooks."""
@@ -74,14 +76,27 @@ class EvalEveryK(Callback):
     ``ndcg``, ``precision``, ``hit_rate``) so downstream callbacks such as
     :class:`EarlyStopping` and the run-history recorder see them, and the
     ``(round_index, RankingResult)`` pairs accumulate in :attr:`history`.
+
+    ``batch_size`` is forwarded to the trainer's full-ranking evaluation
+    (chunked cohort scoring by default; ``None`` selects the per-user
+    reference loop — equal results either way).
     """
 
-    def __init__(self, every: int = 1, k: int = 20, max_users: Optional[int] = None):
+    def __init__(
+        self,
+        every: int = 1,
+        k: int = 20,
+        max_users: Optional[int] = None,
+        batch_size: Optional[int] = DEFAULT_CHUNK_SIZE,
+    ):
         if every <= 0:
             raise ValueError(f"every must be positive, got {every}")
+        if batch_size is not None and batch_size <= 0:
+            raise ValueError(f"batch_size must be positive or None, got {batch_size}")
         self.every = every
         self.k = k
         self.max_users = max_users
+        self.batch_size = batch_size
         self.history: List[Tuple[int, object]] = []
 
     def on_fit_start(self, trainer) -> None:
@@ -90,7 +105,9 @@ class EvalEveryK(Callback):
     def on_round_end(self, trainer, round_index: int, logs: Dict[str, float]) -> None:
         if (round_index + 1) % self.every != 0:
             return
-        result = trainer.evaluate(k=self.k, max_users=self.max_users)
+        result = trainer.evaluate(
+            k=self.k, max_users=self.max_users, batch_size=self.batch_size
+        )
         logs["recall"] = result.recall
         logs["ndcg"] = result.ndcg
         logs["precision"] = result.precision

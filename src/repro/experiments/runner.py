@@ -122,6 +122,7 @@ def run(
             every=spec.evaluation.every,
             k=spec.evaluation.k,
             max_users=spec.evaluation.max_users,
+            batch_size=spec.evaluation.batch_size,
         )
         wired.append(auto_eval)
     for callback in callbacks:

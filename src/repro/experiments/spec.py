@@ -39,6 +39,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Type
 
 from repro.core.config import DEFENSE_MODES, DISPERSAL_MODES
 from repro.engine.spec import EngineSpec
+from repro.eval.scoring import DEFAULT_CHUNK_SIZE
 
 
 def _as_int_tuple(value) -> Tuple[int, ...]:
@@ -209,6 +210,12 @@ class EvalSpec:
     training (via the :class:`~repro.experiments.callbacks.EvalEveryK`
     callback) so the per-round history carries ranking metrics; 0 only
     evaluates once after training.  ``verbose`` attaches a progress logger.
+
+    ``batch_size`` sets how many users the full-ranking evaluator scores
+    per chunk (see :meth:`repro.eval.RankingEvaluator.evaluate`); ``None``
+    selects the per-user reference loop.  Purely an execution choice —
+    both paths return equal metrics — so, like the ``engine`` section, it
+    may differ freely between otherwise-identical runs.
     """
 
     k: int = 20
@@ -216,6 +223,7 @@ class EvalSpec:
     every: int = 0
     audit_privacy: bool = True
     verbose: bool = False
+    batch_size: Optional[int] = DEFAULT_CHUNK_SIZE
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -224,6 +232,10 @@ class EvalSpec:
             raise ValueError(f"max_users must be positive or None, got {self.max_users}")
         if self.every < 0:
             raise ValueError(f"every must be non-negative, got {self.every}")
+        if self.batch_size is not None and self.batch_size <= 0:
+            raise ValueError(
+                f"batch_size must be positive or None, got {self.batch_size}"
+            )
 
 
 _SECTION_TYPES: Dict[str, type] = {

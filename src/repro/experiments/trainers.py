@@ -41,6 +41,10 @@ from repro.federated.metamf import MetaMF
 from repro.models.factory import create_model
 from repro.utils.rng import RngFactory
 
+#: Sentinel distinguishing "not given — use the spec's evaluation section"
+#: from an explicit ``batch_size=None`` (the per-user reference path).
+_UNSET = object()
+
 
 class TrainerAdapter:
     """Uniform facade over one training paradigm.
@@ -69,12 +73,23 @@ class TrainerAdapter:
         self.system.fit(rounds=rounds, callbacks=callbacks)
         return self
 
-    def evaluate(self, k: Optional[int] = None, max_users: Optional[int] = None) -> RankingResult:
-        """Ranking metrics with the spec's evaluation settings as defaults."""
+    def evaluate(
+        self,
+        k: Optional[int] = None,
+        max_users: Optional[int] = None,
+        batch_size=_UNSET,
+    ) -> RankingResult:
+        """Ranking metrics with the spec's evaluation settings as defaults.
+
+        ``batch_size`` defaults to ``spec.evaluation.batch_size`` (chunked
+        cohort scoring); pass ``None`` explicitly for the per-user
+        reference loop — both paths return equal results.
+        """
         evaluation = self.spec.evaluation
         return self.system.evaluate(
             k=k if k is not None else evaluation.k,
             max_users=max_users if max_users is not None else evaluation.max_users,
+            batch_size=evaluation.batch_size if batch_size is _UNSET else batch_size,
         )
 
     def rounds_completed(self) -> int:

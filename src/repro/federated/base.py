@@ -31,6 +31,7 @@ from repro.data.sampling import UserBatchSampler
 from repro.engine import ClientTrainingPlan, create_scheduler
 from repro.engine.spec import EngineSpec
 from repro.eval.ranking import RankingEvaluator, RankingResult
+from repro.eval.scoring import DEFAULT_CHUNK_SIZE
 from repro.federated.communication import CommunicationLedger
 from repro.models.base import Recommender
 from repro.nn.losses import PointwiseBCELoss
@@ -304,10 +305,20 @@ class ParameterTransmissionFedRec:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
-    def evaluate(self, k: int = 20, max_users: Optional[int] = None) -> RankingResult:
-        """Rank with the global public + per-user private parameters."""
+    def evaluate(
+        self,
+        k: int = 20,
+        max_users: Optional[int] = None,
+        batch_size: Optional[int] = DEFAULT_CHUNK_SIZE,
+    ) -> RankingResult:
+        """Rank with the global public + per-user private parameters.
+
+        ``batch_size`` chooses the evaluator's execution path (chunked
+        cohort scoring by default, the per-user reference loop with
+        ``None``); both return equal results.
+        """
         evaluator = RankingEvaluator(self.dataset, k=k)
-        return evaluator.evaluate(self.model, max_users=max_users)
+        return evaluator.evaluate(self.model, max_users=max_users, batch_size=batch_size)
 
     def average_client_round_kilobytes(self) -> float:
         """Average per-client per-round communication in KB (Table IV)."""

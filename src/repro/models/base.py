@@ -10,6 +10,25 @@ from repro.nn import Module
 from repro.tensor import Tensor, no_grad
 
 
+def top_k_ranked(scores: np.ndarray, k: int):
+    """Cut the top-``k`` of masked score rows; returns ``(ranked, valid)``.
+
+    The one implementation of the exclusion contract shared by every
+    top-k cut site (``Recommender.recommend``, the batched evaluator, the
+    serving facade).  ``scores`` is 1-D ``(num_items,)`` or 2-D
+    ``(users, num_items)`` with masked-out entries set to ``-inf``;
+    ``ranked`` carries ``k`` best-first item ids per row (masked items
+    sort to the tail) and ``valid`` counts each row's unmasked candidates,
+    capped at ``k`` — every slot at or beyond ``valid`` is mask leakage
+    the caller must truncate or ignore.
+    """
+    top = np.argpartition(-scores, kth=k - 1, axis=-1)[..., :k]
+    order = np.argsort(-np.take_along_axis(scores, top, axis=-1), axis=-1)
+    ranked = np.take_along_axis(top, order, axis=-1)
+    valid = np.minimum(np.count_nonzero(scores != -np.inf, axis=-1), k)
+    return ranked, valid
+
+
 class Recommender(Module):
     """Base class for user-item preference models.
 
@@ -81,12 +100,15 @@ class Recommender(Module):
 
         ``exclude_items`` (typically the user's training positives) are
         removed from the candidate pool, matching the paper's evaluation
-        over "all items that have not interacted with users".
+        over "all items that have not interacted with users".  When fewer
+        than ``k`` candidates survive the exclusion, the returned list is
+        truncated to the valid candidates — excluded items are never
+        recommended back.
         """
         scores = self.score_all_items(user)
         if exclude_items is not None and len(exclude_items):
             scores = scores.copy()
             scores[np.asarray(exclude_items, dtype=np.int64)] = -np.inf
         k = min(k, self.num_items)
-        top = np.argpartition(-scores, kth=k - 1)[:k]
-        return top[np.argsort(-scores[top])]
+        ranked, valid = top_k_ranked(scores, k)
+        return ranked[:valid] if valid < k else ranked

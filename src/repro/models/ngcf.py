@@ -76,6 +76,12 @@ class NGCF(Recommender):
         self._cached_final = None
         return super().train(mode)
 
+    def load_state_dict(self, state) -> None:
+        # New weights invalidate the eval-mode propagation cache even when
+        # no mode flip follows (e.g. refreshing a serving-side model).
+        super().load_state_dict(state)
+        self._cached_final = None
+
     # ------------------------------------------------------------------
     # Propagation
     # ------------------------------------------------------------------

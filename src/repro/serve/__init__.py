@@ -7,9 +7,10 @@ it.
 * :class:`Recommender` — a service facade over any trained
   :class:`repro.models.base.Recommender`: ``recommend(users, k,
   exclude_seen=True)`` ranks whole user cohorts through the batched
-  scoring paths of :mod:`repro.serve.scoring` (one matmul per cohort for
-  the embedding dot-product architectures, a single flattened tensor pass
-  otherwise), with an LRU score cache for hot users and a popularity
+  scoring paths of :mod:`repro.eval.scoring` (one matmul per cohort for
+  the embedding dot-product architectures, chunked flattened tensor
+  passes otherwise — the very same cohort scorer the training-time
+  evaluator uses), with an LRU score cache for hot users and a popularity
   fallback for cold-start users;
 * ``Recommender.from_checkpoint(path)`` — stand up the service straight
   from a saved artifact (PTF-FedRec artifacts serve the provider's hidden

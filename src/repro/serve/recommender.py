@@ -11,14 +11,15 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.data.dataset import InteractionDataset
+from repro.eval.scoring import batch_scores
 from repro.models.base import Recommender as RecommenderModel
+from repro.models.base import top_k_ranked
 from repro.models.popularity import PopularityRecommender
-from repro.serve.scoring import batch_scores
 
 _EMPTY_ITEMS = np.empty(0, dtype=np.int64)
 
@@ -65,6 +66,7 @@ class Recommender:
         self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cold_hits = 0
 
     # ------------------------------------------------------------------
     # Construction from artifacts
@@ -118,7 +120,10 @@ class Recommender:
 
         Cache hits are served from the LRU; the remaining warm users are
         scored as **one** batched cohort (see
-        :mod:`repro.serve.scoring`); cold users get the popularity row.
+        :mod:`repro.eval.scoring`); cold users get the popularity row.
+        Cold lookups are counted in :attr:`cold_hits`, never as cache
+        misses — cold rows are not cacheable, so they would permanently
+        skew the LRU hit-rate statistics.
         """
         users = np.atleast_1d(np.asarray(users, dtype=np.int64))
         if users.size == 0:
@@ -126,16 +131,18 @@ class Recommender:
         rows: Dict[int, np.ndarray] = {}
         fresh: list = []
         for user in dict.fromkeys(map(int, users)):  # unique, order-preserving
-            cached = self._cache_get(user)
-            if cached is not None:
-                rows[user] = cached
-            elif self._is_cold(user):
+            if self._is_cold(user):
                 if self._popularity is None:
                     raise IndexError(
                         f"user {user} is unknown to the served model and no "
                         "popularity fallback was configured"
                     )
+                self.cold_hits += 1
                 rows[user] = self._popularity
+                continue
+            cached = self._cache_get(user)
+            if cached is not None:
+                rows[user] = cached
             else:
                 fresh.append(user)
         if fresh:
@@ -176,7 +183,7 @@ class Recommender:
         users: Union[int, Sequence[int], np.ndarray],
         k: int = 20,
         exclude_seen: bool = True,
-    ) -> np.ndarray:
+    ) -> Union[np.ndarray, List[np.ndarray]]:
         """Top-``k`` item ids per user, best first; shape ``(len(users), k)``.
 
         A scalar ``users`` returns a 1-D ``(k,)`` array.  With
@@ -184,6 +191,12 @@ class Recommender:
         the cut — the serving twin of the paper's "rank all items the user
         has not interacted with".  The whole cohort is ranked with one
         vectorized partition/sort, no per-user Python loop.
+
+        Excluded items are never returned: when a user has fewer than
+        ``k`` unseen candidates, that user's list is truncated to the
+        valid candidates — a scalar query then returns fewer than ``k``
+        ids, and a cohort query returns a list of per-user arrays instead
+        of the usual rectangular matrix.
         """
         scalar = np.isscalar(users) or (
             isinstance(users, np.ndarray) and users.ndim == 0
@@ -204,10 +217,12 @@ class Recommender:
                 # of a Python masking loop per user.
                 scores[np.repeat(np.arange(users.size), sizes),
                        np.concatenate(seen_rows)] = -np.inf
-        top = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
-        order = np.argsort(-np.take_along_axis(scores, top, axis=1), axis=1)
-        ranked = np.take_along_axis(top, order, axis=1)
-        return ranked[0] if scalar else ranked
+        ranked, valid = top_k_ranked(scores, k)
+        if int(valid.min(initial=k)) >= k:
+            return ranked[0] if scalar else ranked
+        if scalar:
+            return ranked[0][: int(valid[0])]
+        return [row[: int(count)] for row, count in zip(ranked, valid)]
 
     def __repr__(self) -> str:
         return (

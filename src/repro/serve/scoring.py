@@ -1,107 +1,11 @@
-"""Batched score-matrix computation for serving.
+"""Compatibility re-export: the cohort scorer moved to :mod:`repro.eval.scoring`.
 
-The training-time evaluator asks a model for one user's scores at a time;
-at query time that per-user Python loop is the bottleneck, not the math.
-:func:`batch_scores` computes a whole cohort's ``(users, num_items)``
-score matrix at once, the same way the execution engine stacks client
-work (:mod:`repro.engine.batch`): architecture-specific closed forms where
-the model is a (transformed) embedding dot product — one matmul per
-cohort — and a single flattened all-pairs tensor pass as the universal
-fallback.  Either way, scoring ``U`` users costs a handful of NumPy calls
-instead of ``U`` Python round-trips.
+The batched score-matrix computation started life here as a serving-only
+concern; the training-time evaluator now drives the same cohort paths, so
+the implementation lives with the evaluation code (``repro.eval`` must not
+depend on ``repro.serve``).  Importing from this module keeps working.
 """
 
-from __future__ import annotations
+from repro.eval.scoring import DEFAULT_CHUNK_SIZE, batch_scores
 
-import numpy as np
-
-from repro.engine.batch import StackedMF, StackedMetaMF
-from repro.models.base import Recommender
-from repro.tensor import no_grad
-
-
-def _sigmoid(logits: np.ndarray) -> np.ndarray:
-    """The substrate's sigmoid (same clipping as ``Tensor.sigmoid``)."""
-    return 1.0 / (1.0 + np.exp(-np.clip(logits, -60.0, 60.0)))
-
-
-def _relu(values: np.ndarray) -> np.ndarray:
-    return values * (values > 0)
-
-
-# ----------------------------------------------------------------------
-# Closed-form cohort scorers (one matmul per cohort)
-# ----------------------------------------------------------------------
-def _mf_scores(model, users: np.ndarray):
-    """Matrix factorization: ``sigmoid(U @ I.T (+ biases))``."""
-    user_vectors = model.user_embedding.weight.data[users]
-    item_table = model.item_embedding.weight.data
-    logits = user_vectors @ item_table.T
-    if model.use_bias:
-        logits = logits + model.user_bias.data[users][:, None]
-        logits = logits + model.item_bias.data[None, :]
-    return _sigmoid(logits)
-
-
-def _metamf_scores(model, users: np.ndarray):
-    """MetaMF: run the meta network once over the full base table."""
-    base = model.item_base_embedding.weight.data
-    hidden = _relu(base @ model.meta_hidden.weight.data.T + model.meta_hidden.bias.data)
-    item_vectors = hidden @ model.meta_output.weight.data.T + model.meta_output.bias.data + base
-    user_vectors = model.user_embedding.weight.data[users]
-    return _sigmoid(user_vectors @ item_vectors.T)
-
-
-def _graph_scores(model, users: np.ndarray):
-    """NGCF / LightGCN: propagate once, then one user-by-item matmul."""
-    was_training = model.training
-    model.eval()
-    try:
-        with no_grad():
-            final = model.propagate().numpy()
-    finally:
-        model.train(was_training)
-    user_vectors = final[users]
-    item_vectors = final[model.num_users:]
-    return _sigmoid(user_vectors @ item_vectors.T)
-
-
-def _closed_form(model):
-    """Pick the architecture's cohort scorer, or ``None`` for the fallback.
-
-    Dispatch reuses the engine's own ``supports`` predicates
-    (:mod:`repro.engine.batch`) so the two stacked paths recognize the
-    same architectures; the graph models have no training-side stacking
-    and are matched on their propagation interface.  Unrecognized
-    architectures degrade gracefully to the flat all-pairs pass.
-    """
-    if StackedMF.supports(model):
-        return _mf_scores
-    if StackedMetaMF.supports(model):
-        return _metamf_scores
-    if hasattr(model, "propagate") and hasattr(model, "node_embedding"):
-        return _graph_scores
-    return None
-
-
-def batch_scores(model: Recommender, users: np.ndarray) -> np.ndarray:
-    """Score every item for a cohort of users; returns ``(U, num_items)``.
-
-    Models without a closed form (e.g. NeuMF's MLP tower) run one flat
-    all-pairs forward — still a single vectorized tensor pass for the
-    whole cohort rather than ``U`` per-user calls.
-    """
-    users = np.asarray(users, dtype=np.int64).reshape(-1)
-    if users.size == 0:
-        return np.empty((0, model.num_items), dtype=np.float64)
-    if np.any((users < 0) | (users >= model.num_users)):
-        raise IndexError("user id out of range for the served model")
-    scorer = _closed_form(model)
-    if scorer is not None:
-        scores = scorer(model, users)
-        return np.asarray(scores, dtype=np.float64)
-    items = np.arange(model.num_items, dtype=np.int64)
-    flat_users = np.repeat(users, model.num_items)
-    flat_items = np.tile(items, users.size)
-    scores = model.score_pairs(flat_users, flat_items)
-    return scores.reshape(users.size, model.num_items)
+__all__ = ["DEFAULT_CHUNK_SIZE", "batch_scores"]

@@ -1,0 +1,411 @@
+"""Batched full-ranking evaluation: exact parity with the per-user path.
+
+The batched evaluator is a pure execution change, like the engine's
+schedulers: chunked cohort scoring, one fancy-indexed mask per chunk, one
+``argpartition`` cut and vectorized metric tables must reproduce the
+per-user reference loop **exactly** — the suite asserts ``RankingResult``
+equality with ``==``, not approximate closeness — across every registered
+trainer, the stacked client-model variant, and the degenerate edge cases
+(k beyond the candidate pool, users without test items, duplicates).
+
+Also home to the regression tests for the masked-item leak: no top-k cut
+site (``models.base.Recommender.recommend``, ``serve.Recommender.recommend``,
+``RankingEvaluator.evaluate_user_scores``) may ever return an excluded
+item, even when fewer than ``k`` candidates survive the mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import debug_dataset
+from repro.data.dataset import InteractionDataset
+from repro.eval import DEFAULT_CHUNK_SIZE, RankingEvaluator, batch_scores
+from repro.eval.metrics import batch_metrics_at_k
+from repro.experiments import ExperimentSpec, create_trainer
+from repro.models.factory import create_model
+from repro.serve import Recommender as ServeRecommender
+from repro.utils import RngFactory
+
+
+def eval_spec(trainer: str = "ptf", **overrides) -> ExperimentSpec:
+    base = dict(
+        trainer=trainer,
+        seed=29,
+        embedding_dim=8,
+        rounds=2,
+        client_local_epochs=1,
+        server_epochs=1,
+        alpha=10,
+    )
+    base.update(overrides)
+    trainer = base.pop("trainer")
+    seed = base.pop("seed")
+    return ExperimentSpec.from_flat(trainer=trainer, seed=seed, **base)
+
+
+@pytest.fixture(scope="module")
+def dataset() -> InteractionDataset:
+    return debug_dataset(
+        RngFactory(12345).spawn("tiny-data"), num_users=25, num_items=50,
+        num_interactions=500,
+    )
+
+
+@pytest.fixture(scope="module")
+def ptf_adapter(dataset):
+    return create_trainer(eval_spec("ptf"), dataset).fit()
+
+
+# ----------------------------------------------------------------------
+# Batched == per-user across every registered trainer
+# ----------------------------------------------------------------------
+class TestTrainerParity:
+    # All 5 registry trainers, plus extra server models so every scoring
+    # path is exercised: mf/metamf closed forms, graph propagation, and
+    # NeuMF's chunked all-pairs fallback.
+    @pytest.mark.parametrize("trainer,overrides", [
+        ("ptf", {}),
+        ("fcf", {}),
+        ("fedmf", {}),
+        ("metamf", {}),
+        ("centralized", {}),
+        ("ptf", {"server_model": "lightgcn"}),
+        ("centralized", {"server_model": "neumf"}),
+        ("centralized", {"server_model": "mf"}),
+    ])
+    def test_batched_equals_per_user(self, trainer, overrides, dataset):
+        adapter = create_trainer(eval_spec(trainer, **overrides), dataset).fit()
+        reference = adapter.evaluate(k=10, batch_size=None)
+        assert adapter.evaluate(k=10, batch_size=DEFAULT_CHUNK_SIZE) == reference
+        # Chunk boundaries are invisible: a chunk size that splits the
+        # cohort unevenly produces the identical result.
+        assert adapter.evaluate(k=10, batch_size=7) == reference
+        assert adapter.evaluate(k=10, batch_size=1) == reference
+
+    def test_max_users_parity(self, ptf_adapter):
+        for max_users in (1, 5, 10_000):
+            assert ptf_adapter.evaluate(
+                k=10, max_users=max_users, batch_size=16
+            ) == ptf_adapter.evaluate(k=10, max_users=max_users, batch_size=None)
+
+    def test_k_beyond_catalogue_parity(self, ptf_adapter, dataset):
+        evaluator = RankingEvaluator(dataset, k=dataset.num_items + 25)
+        model = ptf_adapter.serving_model()
+        assert evaluator.evaluate(model, batch_size=8) == evaluator.evaluate(
+            model, batch_size=None
+        )
+
+    def test_duplicate_users_parity(self, ptf_adapter, dataset):
+        evaluator = RankingEvaluator(dataset, k=10)
+        model = ptf_adapter.serving_model()
+        users = [3, 3, 7, 3, 7, 11]
+        batched = evaluator.evaluate(model, users=users, batch_size=4)
+        reference = evaluator.evaluate(model, users=users, batch_size=None)
+        assert batched == reference
+        # Duplicates are graded once per occurrence, like the serial loop.
+        assert batched.num_users_evaluated == len(
+            [u for u in users if dataset.test_items(u).size]
+        )
+
+    def test_users_without_test_items_are_skipped(self, ptf_adapter):
+        dataset = debug_dataset(
+            RngFactory(7).spawn("no-test"), num_users=8, num_items=20,
+            num_interactions=60,
+        )
+        # Rebuild with an explicit empty test split: nobody can be ranked.
+        bare = InteractionDataset(
+            dataset.num_users, dataset.num_items,
+            [tuple(pair) for pair in dataset.train_pairs],
+        )
+        model = create_model(
+            "mf", num_users=bare.num_users, num_items=bare.num_items,
+            embedding_dim=4, rng=RngFactory(3).spawn("m"),
+        )
+        evaluator = RankingEvaluator(bare, k=5)
+        batched = evaluator.evaluate(model, batch_size=4)
+        assert batched == evaluator.evaluate(model, batch_size=None)
+        assert batched.num_users_evaluated == 0
+
+    def test_spec_batch_size_flows_through(self, dataset):
+        spec = eval_spec("fcf").replace(batch_size=5)
+        assert spec.evaluation.batch_size == 5
+        adapter = create_trainer(spec, dataset).fit()
+        assert adapter.evaluate(k=10) == adapter.evaluate(k=10, batch_size=None)
+
+
+# ----------------------------------------------------------------------
+# Stacked client-model evaluation (PTF-FedRec's per-client path)
+# ----------------------------------------------------------------------
+class TestStackedClientEvaluation:
+    def test_stacked_equals_per_user(self, ptf_adapter):
+        ptf = ptf_adapter.system
+        reference = ptf.evaluate_client_models(k=10, batch_size=None)
+        assert ptf.evaluate_client_models(k=10) == reference
+        assert ptf.evaluate_client_models(k=10, batch_size=6) == reference
+
+    def test_stacked_respects_max_users(self, ptf_adapter):
+        ptf = ptf_adapter.system
+        assert ptf.evaluate_client_models(
+            k=10, max_users=5, batch_size=3
+        ) == ptf.evaluate_client_models(k=10, max_users=5, batch_size=None)
+
+    def test_score_matrix_variant_matches_score_fn(self, ptf_adapter, dataset):
+        """evaluate_score_matrices == evaluate_per_user_scores row for row."""
+        model = ptf_adapter.serving_model()
+        evaluator = RankingEvaluator(dataset, k=10)
+        per_user = evaluator.evaluate_per_user_scores(
+            lambda user: model.score_all_items(user), users=dataset.users
+        )
+        stacked = evaluator.evaluate_score_matrices(
+            lambda users: np.stack([model.score_all_items(int(u)) for u in users]),
+            users=dataset.users,
+            batch_size=9,
+        )
+        assert stacked == per_user
+
+    def test_score_matrix_shape_is_validated(self, dataset):
+        evaluator = RankingEvaluator(dataset, k=5)
+        with pytest.raises(ValueError, match="score matrix"):
+            evaluator.evaluate_score_matrices(
+                lambda users: np.zeros((users.size, 3)), users=dataset.users
+            )
+
+    def test_score_matrix_variant_rejects_none_batch_size(self, dataset):
+        evaluator = RankingEvaluator(dataset, k=5)
+        with pytest.raises(ValueError, match="batch_size"):
+            evaluator.evaluate_score_matrices(
+                lambda users: np.zeros((users.size, dataset.num_items)),
+                users=dataset.users,
+                batch_size=None,
+            )
+
+    def test_supplied_matrix_is_not_mutated(self, dataset):
+        """The evaluator masks a *copy* of an externally supplied matrix."""
+        evaluator = RankingEvaluator(dataset, k=5)
+        matrix = np.full((len(dataset.users), dataset.num_items), 0.5)
+        snapshot = matrix.copy()
+        evaluator.evaluate_score_matrices(
+            lambda users: matrix[: users.size], users=dataset.users,
+            batch_size=len(dataset.users),
+        )
+        np.testing.assert_array_equal(matrix, snapshot)
+
+    def test_graph_cache_invalidated_by_weight_reload(self, dataset):
+        """Loading new weights into an eval-mode graph model must not serve
+        stale propagation results to the batched evaluator."""
+        def build(seed):
+            model = create_model(
+                "lightgcn", num_users=dataset.num_users,
+                num_items=dataset.num_items, embedding_dim=4,
+                rng=RngFactory(seed).spawn("g"), num_layers=2,
+            )
+            model.set_interaction_graph(dataset.train_pairs)
+            model.eval()
+            return model
+
+        evaluator = RankingEvaluator(dataset, k=5)
+        model = build(1)
+        stale = evaluator.evaluate(model, batch_size=4)  # populates the cache
+        model.load_state_dict(build(2).state_dict())
+        refreshed = evaluator.evaluate(model, batch_size=4)
+        assert refreshed == evaluator.evaluate(model, batch_size=None)
+        assert refreshed != stale
+
+    def test_graph_model_propagates_once_per_evaluation(self, dataset):
+        """Chunked evaluation reuses the eval-mode propagation cache."""
+        model = create_model(
+            "lightgcn", num_users=dataset.num_users, num_items=dataset.num_items,
+            embedding_dim=4, rng=RngFactory(21).spawn("g"), num_layers=2,
+        )
+        model.set_interaction_graph(dataset.train_pairs)
+        model.train()
+        calls = {"count": 0}
+        original = model.propagate
+
+        def counting_propagate():
+            calls["count"] += 1
+            return original()
+
+        model.propagate = counting_propagate
+        evaluator = RankingEvaluator(dataset, k=5)
+        batched = evaluator.evaluate(model, batch_size=4)
+        assert calls["count"] == 1
+        assert model.training  # mode restored
+        calls["count"] = 0
+        reference = evaluator.evaluate(model, batch_size=None)
+        assert calls["count"] > 1  # the per-user loop re-propagates
+        assert batched == reference
+
+
+# ----------------------------------------------------------------------
+# Masked-item leak regressions (all three top-k cut sites)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def saturated_dataset() -> InteractionDataset:
+    """User 0 trained on every item but one; user 1 is ordinary."""
+    num_items = 6
+    train = [(0, i) for i in range(num_items - 1)] + [(1, 0), (1, 1)]
+    test = [(0, num_items - 1), (1, 2)]
+    return InteractionDataset(2, num_items, train, test)
+
+
+@pytest.fixture
+def saturated_model(saturated_dataset):
+    return create_model(
+        "mf", num_users=2, num_items=saturated_dataset.num_items,
+        embedding_dim=4, rng=RngFactory(11).spawn("sat"),
+    )
+
+
+class TestMaskedItemLeak:
+    def test_model_recommend_truncates(self, saturated_dataset, saturated_model):
+        exclude = saturated_dataset.train_items(0)
+        ranked = saturated_model.recommend(0, k=4, exclude_items=exclude)
+        assert ranked.tolist() == [saturated_dataset.num_items - 1]
+        # Without exclusions the full k comes back.
+        assert saturated_model.recommend(0, k=4).shape == (4,)
+
+    def test_serve_recommend_truncates_scalar(self, saturated_dataset, saturated_model):
+        service = ServeRecommender(
+            saturated_model,
+            seen_items={u: saturated_dataset.train_items(u)
+                        for u in saturated_dataset.users},
+        )
+        ranked = service.recommend(0, k=4)
+        assert ranked.tolist() == [saturated_dataset.num_items - 1]
+
+    def test_serve_recommend_truncates_cohort(self, saturated_dataset, saturated_model):
+        service = ServeRecommender(
+            saturated_model,
+            seen_items={u: saturated_dataset.train_items(u)
+                        for u in saturated_dataset.users},
+        )
+        ranked = service.recommend([0, 1], k=4)
+        assert isinstance(ranked, list)
+        assert ranked[0].tolist() == [saturated_dataset.num_items - 1]
+        assert len(ranked[1]) == 4
+        assert not set(ranked[1].tolist()) & set(
+            saturated_dataset.train_items(1).tolist()
+        )
+        # Full-candidate cohorts keep the rectangular fast path.
+        rectangular = service.recommend([0, 1], k=1)
+        assert isinstance(rectangular, np.ndarray)
+        assert rectangular.shape == (2, 1)
+
+    def test_evaluate_user_scores_truncates(self, saturated_dataset):
+        evaluator = RankingEvaluator(saturated_dataset, k=4)
+        scores = np.linspace(0.0, 1.0, saturated_dataset.num_items)
+        result = evaluator.evaluate_user_scores(0, scores)
+        # Only the single unseen item can be recommended; it is the test
+        # item, so the user scores a full hit with 1/k precision.
+        assert result.recall == 1.0
+        assert result.hit_rate == 1.0
+        assert result.precision == 1.0 / 4
+        assert result.ndcg == 1.0
+
+    def test_batched_matches_per_user_on_saturated_users(
+        self, saturated_dataset, saturated_model
+    ):
+        evaluator = RankingEvaluator(saturated_dataset, k=4)
+        assert evaluator.evaluate(
+            saturated_model, batch_size=2
+        ) == evaluator.evaluate(saturated_model, batch_size=None)
+
+
+# ----------------------------------------------------------------------
+# The shared cohort scorer's chunked fallback
+# ----------------------------------------------------------------------
+class TestChunkedFallback:
+    def test_chunked_fallback_matches_unchunked(self, dataset):
+        model = create_model(
+            "neumf", num_users=dataset.num_users, num_items=dataset.num_items,
+            embedding_dim=4, rng=RngFactory(5).spawn("n"),
+        )
+        users = np.asarray(dataset.users, dtype=np.int64)
+        unchunked = batch_scores(model, users, chunk_size=None)
+        chunked = batch_scores(model, users, chunk_size=4)
+        assert chunked.shape == unchunked.shape
+        np.testing.assert_allclose(chunked, unchunked, rtol=1e-12, atol=1e-14)
+        # Each chunk reproduces the per-user pass exactly at chunk_size=1.
+        singles = batch_scores(model, users, chunk_size=1)
+        for row, user in zip(singles, users):
+            np.testing.assert_array_equal(row, model.score_all_items(int(user)))
+
+    def test_closed_form_ignores_chunking(self, dataset):
+        model = create_model(
+            "mf", num_users=dataset.num_users, num_items=dataset.num_items,
+            embedding_dim=4, rng=RngFactory(6).spawn("m"),
+        )
+        users = np.asarray(dataset.users[:10], dtype=np.int64)
+        np.testing.assert_array_equal(
+            batch_scores(model, users, chunk_size=3),
+            batch_scores(model, users, chunk_size=None),
+        )
+
+    def test_invalid_chunk_size_raises(self, saturated_model):
+        with pytest.raises(ValueError, match="chunk_size"):
+            batch_scores(saturated_model, np.array([0]), chunk_size=0)
+
+
+# ----------------------------------------------------------------------
+# The vectorized metric kernel against the scalar reference functions
+# ----------------------------------------------------------------------
+class TestBatchMetrics:
+    def test_matches_scalar_metrics_on_random_rankings(self):
+        from repro.eval.metrics import (
+            hit_rate_at_k, ndcg_at_k, precision_at_k, recall_at_k,
+        )
+
+        rng = np.random.default_rng(99)
+        num_items, k = 30, 8
+        users = 40
+        ranked = np.stack([
+            rng.permutation(num_items)[:k] for _ in range(users)
+        ])
+        relevant = [
+            rng.choice(num_items, size=rng.integers(0, 6), replace=False)
+            for _ in range(users)
+        ]
+        relevance = np.zeros((users, k), dtype=bool)
+        for row, items in enumerate(relevant):
+            relevance[row] = np.isin(ranked[row], items)
+        counts = np.array([items.size for items in relevant])
+        recall, ndcg, precision, hit_rate = batch_metrics_at_k(relevance, counts, k)
+        for row in range(users):
+            assert recall[row] == recall_at_k(ranked[row], relevant[row], k)
+            assert ndcg[row] == ndcg_at_k(ranked[row], relevant[row], k)
+            assert precision[row] == precision_at_k(ranked[row], relevant[row], k)
+            assert hit_rate[row] == hit_rate_at_k(ranked[row], relevant[row], k)
+
+    def test_ideal_dcg_covers_counts_beyond_width(self):
+        # A user with more test items than ranked slots normalizes by the
+        # k-deep ideal, exactly like the scalar function.
+        relevance = np.ones((1, 3), dtype=bool)
+        recall, ndcg, precision, hit_rate = batch_metrics_at_k(
+            relevance, np.array([10]), k=3
+        )
+        assert ndcg[0] == 1.0
+        assert precision[0] == 1.0
+        assert recall[0] == 3 / 10
+
+    def test_wide_relevance_is_truncated_to_k(self):
+        # Hits past position k must not count, matching the scalar
+        # functions' ``list(recommended)[:k]`` truncation.
+        relevance = np.array([[False, False, True, True]])
+        recall, ndcg, precision, hit_rate = batch_metrics_at_k(
+            relevance, np.array([2]), k=2
+        )
+        assert recall[0] == 0.0
+        assert precision[0] == 0.0
+        assert hit_rate[0] == 0.0
+        assert ndcg[0] == 0.0
+
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError, match="relevance"):
+            batch_metrics_at_k(np.zeros(3, dtype=bool), np.array([1]), k=3)
+        with pytest.raises(ValueError, match="relevant_counts"):
+            batch_metrics_at_k(np.zeros((2, 3), dtype=bool), np.array([1]), k=3)
+        with pytest.raises(ValueError, match="k must be positive"):
+            batch_metrics_at_k(np.zeros((1, 3), dtype=bool), np.array([1]), k=0)

@@ -164,6 +164,28 @@ class TestColdStart:
             bare.scores(10_000)
 
 
+class TestColdStats:
+    def test_cold_lookups_do_not_count_as_cache_misses(self, trained):
+        """Cold rows are never cacheable, so cold traffic must not skew
+        the LRU hit-rate statistics (regression: ``_cache_get`` used to be
+        consulted before ``_is_cold``)."""
+        _, service = trained
+        cold_user = 10_000
+        service.scores([cold_user])
+        service.scores([cold_user])
+        assert service.cold_hits == 2
+        assert (service.cache_hits, service.cache_misses) == (0, 0)
+
+    def test_mixed_cohort_splits_the_counters(self, trained):
+        _, service = trained
+        service.scores([0, 10_000, 1])
+        assert service.cold_hits == 1
+        assert (service.cache_hits, service.cache_misses) == (0, 2)
+        service.scores([0, 10_000])
+        assert service.cold_hits == 2
+        assert (service.cache_hits, service.cache_misses) == (1, 2)
+
+
 class TestScoreCache:
     def test_repeat_queries_hit_the_cache(self, trained):
         _, service = trained
