@@ -39,6 +39,7 @@ from repro.artifacts.checkpoint import (
     ARRAYS_NAME,
     MANIFEST_NAME,
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     Checkpoint,
     copy_checkpoint,
     dataset_fingerprint,
@@ -52,6 +53,7 @@ __all__ = [
     "ARRAYS_NAME",
     "MANIFEST_NAME",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "Checkpoint",
     "CheckpointEveryK",
     "copy_checkpoint",

@@ -37,7 +37,14 @@ from repro.experiments.spec import ExperimentSpec
 
 #: Bumped whenever the manifest layout changes incompatibly.  Loaders
 #: refuse manifests they do not understand instead of misreading them.
-SCHEMA_VERSION = 1
+#: Version 2 added the tensor-backend fields (top-level ``backend`` /
+#: ``dtype`` and ``spec.backend``) — a v1-only reader cannot parse the new
+#: spec dict, so new artifacts must declare 2 to fail cleanly there.
+SCHEMA_VERSION = 2
+
+#: Versions this build can read.  Version 1 (pre-backend) manifests load
+#: with the reference float64 backend pinned (see :func:`load_checkpoint`).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 MANIFEST_NAME = "manifest.json"
 ARRAYS_NAME = "arrays.npz"
@@ -97,6 +104,10 @@ class Checkpoint:
     state: Dict[str, Any]
     dataset_state: Dict[str, Any] = field(repr=False)
     fingerprint: str
+    #: Tensor backend the run computed under, with its parameter dtype —
+    #: recorded so the artifact is self-describing even without the spec.
+    backend: str = "numpy"
+    dtype: str = "float64"
 
     def dataset(self) -> InteractionDataset:
         """The embedded dataset the checkpointed run was training on."""
@@ -122,6 +133,13 @@ class Checkpoint:
             raise ValueError(
                 f"checkpoint was trained by {self.trainer!r}, cannot restore "
                 f"into a {spec.trainer!r} trainer"
+            )
+        if spec.backend != self.backend:
+            raise ValueError(
+                f"checkpoint was trained under the {self.backend!r} tensor "
+                f"backend ({self.dtype}); restoring under {spec.backend!r} "
+                "would silently cast every parameter — the backend is part "
+                "of the arithmetic, not an execution choice"
             )
         if dataset is None:
             dataset = self.dataset()
@@ -207,10 +225,14 @@ def save_checkpoint(
     # ("state/..." or "dataset/...") with consistent placeholders for free.
     tree, payload = flatten_state({"state": state, "dataset": _dataset_state(dataset)})
 
+    from repro.tensor.backend import get_backend
+
     manifest = {
         "kind": _MANIFEST_KIND,
         "schema_version": SCHEMA_VERSION,
         "trainer": spec.trainer,
+        "backend": spec.backend,
+        "dtype": np.dtype(get_backend(spec.backend).dtype).name,
         "spec": spec.to_dict(),
         "rounds_completed": int(state.get("rounds_completed", len(history))),
         "history": [record.to_dict() for record in history],
@@ -252,20 +274,30 @@ def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
     if manifest.get("kind") != _MANIFEST_KIND:
         raise ValueError(f"{manifest_path} is not a repro checkpoint manifest")
     version = manifest.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise ValueError(
             f"unsupported checkpoint schema version {version!r} "
-            f"(this build reads version {SCHEMA_VERSION})"
+            f"(this build reads versions {SUPPORTED_SCHEMA_VERSIONS})"
         )
     with np.load(path / manifest["arrays_file"], allow_pickle=False) as payload:
         arrays = {key: payload[key] for key in payload.files}
+    spec_data = dict(manifest["spec"])
+    # Pre-backend manifests carry no backend field: they were written by
+    # the float64 reference substrate.  Pin that explicitly — otherwise a
+    # spec with backend=None would adopt the *ambient* session backend and
+    # a legacy artifact loaded under numpy32 would silently resume in
+    # float32, breaking the bit-identical-resume guarantee.
+    spec_data.setdefault("backend", "numpy")
+    spec = ExperimentSpec.from_dict(spec_data)
     return Checkpoint(
         schema_version=int(version),
         trainer=str(manifest["trainer"]),
-        spec=ExperimentSpec.from_dict(manifest["spec"]),
+        spec=spec,
         rounds_completed=int(manifest["rounds_completed"]),
         history=[RoundRecord.from_dict(entry) for entry in manifest["history"]],
         state=unflatten_state(manifest["state"], arrays),
         dataset_state=unflatten_state(manifest["dataset"], arrays),
         fingerprint=str(manifest["fingerprint"]),
+        backend=str(manifest.get("backend", spec.backend)),
+        dtype=str(manifest.get("dtype", "float64")),
     )

@@ -70,25 +70,31 @@ class PTFFedRec:
         dataset: InteractionDataset,
         config: Union["ExperimentSpec", PTFConfig, None] = None,
     ):
+        from repro.tensor.backend import use_backend
+
         self.dataset = dataset
         self.spec = ensure_spec(config)
         self._rngs = RngFactory(self.spec.seed)
         self.ledger = CommunicationLedger()
         self.engine = create_scheduler(self.spec.engine)
 
-        self.server = PTFServer(
-            dataset.num_users, dataset.num_items, self.spec, self._rngs
-        )
-        self.clients: Dict[int, PTFClient] = {
-            user: PTFClient(
-                user_id=user,
-                num_items=dataset.num_items,
-                positive_items=dataset.train_items(user),
-                config=self.spec,
-                rngs=self._rngs,
+        # Honor the spec's backend on direct construction too (the trainer
+        # adapters also wrap — nesting the context is harmless), so server
+        # and client models carry spec.backend's dtype either way.
+        with use_backend(self.spec.backend):
+            self.server = PTFServer(
+                dataset.num_users, dataset.num_items, self.spec, self._rngs
             )
-            for user in dataset.users
-        }
+            self.clients: Dict[int, PTFClient] = {
+                user: PTFClient(
+                    user_id=user,
+                    num_items=dataset.num_items,
+                    positive_items=dataset.train_items(user),
+                    config=self.spec,
+                    rngs=self._rngs,
+                )
+                for user in dataset.users
+            }
         self.round_summaries: List[RoundSummary] = []
         self.last_round_uploads: List[ClientUpload] = []
 
@@ -169,17 +175,19 @@ class PTFFedRec:
         summary metrics, :meth:`on_fit_end`) and may stop training early.
         """
         from repro.experiments.callbacks import CallbackList
+        from repro.tensor.backend import use_backend
 
         hooks = CallbackList(callbacks)
         total = rounds if rounds is not None else self.spec.protocol.rounds
         start = len(self.round_summaries)
         hooks.on_fit_start(self)
-        for round_index in range(start, start + total):
-            hooks.on_round_start(self, round_index)
-            summary = self.run_round(round_index)
-            hooks.on_round_end(self, round_index, summary.as_logs())
-            if hooks.should_stop:
-                break
+        with use_backend(self.spec.backend):
+            for round_index in range(start, start + total):
+                hooks.on_round_start(self, round_index)
+                summary = self.run_round(round_index)
+                hooks.on_round_end(self, round_index, summary.as_logs())
+                if hooks.should_stop:
+                    break
         hooks.on_fit_end(self)
         return self
 

@@ -28,6 +28,13 @@ client's dedicated RNG stream in the serial call order — that is what a
 :class:`ClientTrainingPlan` materializes — so randomness never depends on
 execution strategy.
 
+The stacked machinery is backend-agnostic by construction: stacked
+parameters, optimizer moments and scratch buffers inherit their dtype
+from the client models (``np.stack`` / ``zeros_like`` / ``empty_like``),
+so a cohort of float32 clients trains as one float32 cohort and the
+serial-vs-stacked bit-identity holds under the ``numpy32`` backend too
+(asserted in ``tests/test_tensor_backend.py``).
+
 Architectures without a stacked implementation fall back to the serial
 path (see :class:`repro.engine.spec.EngineSpec`); :func:`stack_models`
 currently covers NeuMF, matrix factorization and MetaMF — every client
@@ -213,11 +220,18 @@ class StackedAdam:
                 correction1 = 1.0 - self.beta1 ** low
                 correction2 = 1.0 - self.beta2 ** low
             else:
+                # Per-client corrections carry the parameter dtype: a
+                # float64 array here would make the divide below compute in
+                # float64 and round twice under a float32 backend, breaking
+                # bitwise equality with the serial optimizer (whose Python-
+                # float scalar is weak-cast to the array dtype first).
                 shape = (len(steps),) + (1,) * (parameter.ndim - 1)
                 correction1 = np.array(
-                    [1.0 - self.beta1 ** int(s) for s in steps]).reshape(shape)
+                    [1.0 - self.beta1 ** int(s) for s in steps],
+                    dtype=parameter.data.dtype).reshape(shape)
                 correction2 = np.array(
-                    [1.0 - self.beta2 ** int(s) for s in steps]).reshape(shape)
+                    [1.0 - self.beta2 ** int(s) for s in steps],
+                    dtype=parameter.data.dtype).reshape(shape)
 
             np.divide(first, correction1, out=scratch_a)   # first_hat
             scratch_a *= self.lr

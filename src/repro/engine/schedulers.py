@@ -29,6 +29,7 @@ from repro.engine.batch import (
     stack_models,
 )
 from repro.engine.spec import EngineSpec
+from repro.tensor.backend import use_backend
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.client import ClientUpload, PTFClient
@@ -276,11 +277,15 @@ def _private_row_entries(model, public_names, num_users) -> Optional[List[str]]:
 # ----------------------------------------------------------------------
 def _ptf_worker(payload):
     clients, round_index = payload
-    results = []
-    for client in clients:
-        loss = client.local_train(round_index)
-        results.append((client.user_id, client, loss))
-    return results
+    # Workers re-activate the clients' backend policy explicitly: a forked
+    # pool would inherit the parent's context, but a spawn-based pool
+    # starts from the default backend and would silently mix precisions.
+    with use_backend(clients[0].spec.backend if clients else None):
+        results = []
+        for client in clients:
+            loss = client.local_train(round_index)
+            results.append((client.user_id, client, loss))
+        return results
 
 
 def _fedavg_worker(payload):
@@ -299,16 +304,17 @@ def _fedavg_worker(payload):
         attr: table.update_counts.copy() for attr, table in _embedding_tables(model)
     }
     results = []
-    for user in users:
-        load_public_state(model, public_names, global_state)
-        loss = fedavg_local_training(
-            model, rngs, config, user, positives[user], num_items, round_index
-        )
-        deltas = {
-            name: named[name].data - global_state[name] for name in public_names
-        }
-        rows = {name: named[name].data[user].copy() for name in private_names}
-        results.append((user, loss, deltas, rows))
+    with use_backend(getattr(config, "backend", None)):
+        for user in users:
+            load_public_state(model, public_names, global_state)
+            loss = fedavg_local_training(
+                model, rngs, config, user, positives[user], num_items, round_index
+            )
+            deltas = {
+                name: named[name].data - global_state[name] for name in public_names
+            }
+            rows = {name: named[name].data[user].copy() for name in private_names}
+            results.append((user, loss, deltas, rows))
     count_increments = {
         attr: table.update_counts - initial_counts[attr]
         for attr, table in _embedding_tables(model)

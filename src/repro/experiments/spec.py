@@ -296,10 +296,20 @@ class ExperimentSpec:
     The ``engine`` section never changes results — all schedulers are
     bit-identical on a fixed seed — so sweeps may freely mix execution
     strategies (``repro.run(spec, dataset)`` runs any of them).
+
+    ``backend`` names the tensor backend (:mod:`repro.tensor.backend`)
+    the run computes under: ``"numpy"`` (default, float64, bit-stable
+    reference) or ``"numpy32"`` (float32 + fused optimizer kernels, fast).
+    Unlike ``engine``, the backend *is* part of the arithmetic — resuming a
+    checkpoint under a different backend is rejected.
+
+    >>> ExperimentSpec(trainer="ptf", backend="numpy32").backend
+    'numpy32'
     """
 
     trainer: str = "ptf"
     seed: int = 0
+    backend: Optional[str] = None
     model: ModelSpec = field(default_factory=ModelSpec)
     protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
     privacy: PrivacySpec = field(default_factory=PrivacySpec)
@@ -324,12 +334,20 @@ class ExperimentSpec:
             raise ValueError(
                 f"unknown trainer {self.trainer!r}; registered trainers: {available_trainers()}"
             )
+        # ``backend=None`` adopts the session's active backend (so e.g. a
+        # CI leg exporting REPRO_BACKEND=numpy32 runs every default-spec
+        # experiment under the fast backend); the serialized spec always
+        # records a concrete, validated backend name.
+        from repro.tensor.backend import resolve_backend_name
+
+        self.backend = resolve_backend_name(self.backend)
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def from_flat(cls, trainer: str = "ptf", seed: int = 0, **overrides) -> "ExperimentSpec":
+    def from_flat(cls, trainer: str = "ptf", seed: int = 0,
+                  backend: Optional[str] = None, **overrides) -> "ExperimentSpec":
         """Build a spec from flat field names (``alpha=30, defense="ldp"``).
 
         Every section field can be addressed by its bare name; the legacy
@@ -346,7 +364,7 @@ class ExperimentSpec:
                 )
             section, attr = target
             sections[section][attr] = value
-        return cls(trainer=trainer, seed=seed, **{
+        return cls(trainer=trainer, seed=seed, backend=backend, **{
             name: _section_from_dict(section_cls, sections[name])
             for name, section_cls in _SECTION_TYPES.items()
         })
@@ -355,7 +373,7 @@ class ExperimentSpec:
         """Return a copy with flat field overrides applied (sweep helper)."""
         data = self.to_dict()
         for key, value in flat_overrides.items():
-            if key in ("trainer", "seed"):
+            if key in ("trainer", "seed", "backend"):
                 data[key] = value
                 continue
             target = _FLAT_FIELDS.get(key)
@@ -372,7 +390,9 @@ class ExperimentSpec:
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """Nested, JSON-safe dict representation (tuples become lists)."""
-        data: Dict[str, Any] = {"trainer": self.trainer, "seed": self.seed}
+        data: Dict[str, Any] = {
+            "trainer": self.trainer, "seed": self.seed, "backend": self.backend,
+        }
         for name in _SECTION_TYPES:
             data[name] = _section_to_dict(getattr(self, name))
         return data
@@ -385,13 +405,13 @@ class ExperimentSpec:
         for name, section_cls in _SECTION_TYPES.items():
             if name in remaining:
                 kwargs[name] = _section_from_dict(section_cls, remaining.pop(name))
-        for name in ("trainer", "seed"):
+        for name in ("trainer", "seed", "backend"):
             if name in remaining:
                 kwargs[name] = remaining.pop(name)
         if remaining:
             raise ValueError(
                 f"unknown ExperimentSpec fields {sorted(remaining)}; "
-                f"known: ['trainer', 'seed'] + {sorted(_SECTION_TYPES)}"
+                f"known: ['trainer', 'seed', 'backend'] + {sorted(_SECTION_TYPES)}"
             )
         return cls(**kwargs)
 

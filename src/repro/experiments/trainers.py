@@ -39,6 +39,7 @@ from repro.federated.fcf import FCF
 from repro.federated.fedmf import FedMF
 from repro.federated.metamf import MetaMF
 from repro.models.factory import create_model
+from repro.tensor.backend import get_backend, use_backend
 from repro.utils.rng import RngFactory
 
 #: Sentinel distinguishing "not given — use the spec's evaluation section"
@@ -51,6 +52,13 @@ class TrainerAdapter:
 
     Subclasses implement :meth:`_build` (spec + dataset -> system) and
     :meth:`rounds_completed`; the rest of the interface is shared.
+
+    The adapter owns the spec's *backend policy*: model construction,
+    training and evaluation all run under ``use_backend(spec.backend)``,
+    so a ``backend="numpy32"`` spec builds float32 parameters and steps
+    with the fused kernels without any caller involvement.  State
+    restoration (:meth:`load_state_dict`) happens under the same policy,
+    which is how checkpoint restore rebuilds the original precision.
     """
 
     name: str = ""
@@ -58,7 +66,9 @@ class TrainerAdapter:
     def __init__(self, spec: ExperimentSpec, dataset: InteractionDataset):
         self.spec = spec
         self.dataset = dataset
-        self.system = self._build()
+        self.backend = get_backend(spec.backend)
+        with use_backend(self.backend):
+            self.system = self._build()
 
     def _build(self):
         raise NotImplementedError
@@ -70,7 +80,8 @@ class TrainerAdapter:
         runs the spec's configured count); the resume path uses it to
         finish an interrupted run instead of training past the target.
         """
-        self.system.fit(rounds=rounds, callbacks=callbacks)
+        with use_backend(self.backend):
+            self.system.fit(rounds=rounds, callbacks=callbacks)
         return self
 
     def evaluate(
@@ -86,11 +97,12 @@ class TrainerAdapter:
         reference loop — both paths return equal results.
         """
         evaluation = self.spec.evaluation
-        return self.system.evaluate(
-            k=k if k is not None else evaluation.k,
-            max_users=max_users if max_users is not None else evaluation.max_users,
-            batch_size=evaluation.batch_size if batch_size is _UNSET else batch_size,
-        )
+        with use_backend(self.backend):
+            return self.system.evaluate(
+                k=k if k is not None else evaluation.k,
+                max_users=max_users if max_users is not None else evaluation.max_users,
+                batch_size=evaluation.batch_size if batch_size is _UNSET else batch_size,
+            )
 
     def rounds_completed(self) -> int:
         raise NotImplementedError
@@ -104,7 +116,8 @@ class TrainerAdapter:
 
     def load_state_dict(self, state: dict) -> None:
         """Restore a :meth:`state_dict` snapshot into the underlying system."""
-        self.system.load_state_dict(state)
+        with use_backend(self.backend):
+            self.system.load_state_dict(state)
 
     def serving_model(self):
         """The trained global :class:`~repro.models.base.Recommender`.
@@ -168,6 +181,7 @@ class _ParameterTransmissionTrainer(TrainerAdapter):
             client_fraction=spec.protocol.client_fraction,
             seed=spec.seed,
             engine=spec.engine,
+            backend=spec.backend,
         )
         return self.system_cls(self.dataset, config)
 
@@ -225,7 +239,8 @@ class CentralizedTrainerAdapter(TrainerAdapter):
         return CentralizedTrainer(model, self.dataset, config)
 
     def fit(self, callbacks: Sequence = (), rounds: Optional[int] = None) -> "TrainerAdapter":
-        self.system.fit(epochs=rounds, callbacks=callbacks)
+        with use_backend(self.backend):
+            self.system.fit(epochs=rounds, callbacks=callbacks)
         return self
 
     def rounds_completed(self) -> int:

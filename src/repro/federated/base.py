@@ -45,7 +45,9 @@ class FederatedConfig:
 
     ``engine`` optionally selects the execution scheduler for the per-round
     client loop (see :class:`repro.engine.EngineSpec`); ``None`` uses the
-    serial reference path.
+    serial reference path.  ``backend`` names the tensor backend the
+    driver's model and local updates compute under (worker processes
+    re-activate it explicitly, so the policy survives spawn-based pools).
     """
 
     rounds: int = 20
@@ -57,8 +59,12 @@ class FederatedConfig:
     client_fraction: float = 1.0
     seed: int = 0
     engine: Optional[EngineSpec] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
+        from repro.tensor.backend import resolve_backend_name
+
+        self.backend = resolve_backend_name(self.backend)
         if self.rounds <= 0:
             raise ValueError(f"rounds must be positive, got {self.rounds}")
         if self.local_epochs <= 0:
@@ -149,11 +155,17 @@ class ParameterTransmissionFedRec:
     name = "parameter-transmission-fedrec"
 
     def __init__(self, dataset: InteractionDataset, config: Optional[FederatedConfig] = None):
+        from repro.tensor.backend import use_backend
+
         self.dataset = dataset
         self.config = config if config is not None else FederatedConfig()
         self._rngs = RngFactory(self.config.seed)
         self.ledger = CommunicationLedger()
-        self.model = self._build_global_model()
+        # The driver honors its config's backend even when constructed
+        # directly (the trainer adapters wrap too — nesting is harmless),
+        # so the global model's dtype always matches config.backend.
+        with use_backend(self.config.backend):
+            self.model = self._build_global_model()
         self._public_names = set(self._public_parameter_names())
         self.engine = create_scheduler(self.config.engine)
         self.rounds_completed = 0
@@ -265,17 +277,19 @@ class ParameterTransmissionFedRec:
         run early (see :mod:`repro.experiments.callbacks`).
         """
         from repro.experiments.callbacks import CallbackList
+        from repro.tensor.backend import use_backend
 
         hooks = CallbackList(callbacks)
         total = rounds if rounds is not None else self.config.rounds
         start = self.rounds_completed
         hooks.on_fit_start(self)
-        for round_index in range(start, start + total):
-            hooks.on_round_start(self, round_index)
-            logs = self.run_round(round_index)
-            hooks.on_round_end(self, round_index, logs)
-            if hooks.should_stop:
-                break
+        with use_backend(self.config.backend):
+            for round_index in range(start, start + total):
+                hooks.on_round_start(self, round_index)
+                logs = self.run_round(round_index)
+                hooks.on_round_end(self, round_index, logs)
+                if hooks.should_stop:
+                    break
         hooks.on_fit_end(self)
         return self
 

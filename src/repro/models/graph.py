@@ -14,10 +14,12 @@ high-score pairs in the prediction datasets clients upload
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
+
+from repro.tensor.backend import active_backend
 
 
 def build_normalized_adjacency(
@@ -25,13 +27,21 @@ def build_normalized_adjacency(
     num_items: int,
     pairs: Sequence[Tuple[int, int]],
     add_self_loops: bool = False,
+    dtype: Optional[np.dtype] = None,
 ) -> sp.csr_matrix:
     """Build the symmetric normalized adjacency over users and items.
 
     Nodes ``0 .. num_users-1`` are users and ``num_users .. num_users +
     num_items - 1`` are items.  Isolated nodes receive a zero row, which
     simply leaves their embedding unchanged during propagation.
+
+    Normalization is computed in float64 for stability, then the matrix is
+    cast to ``dtype`` (default: the active tensor backend's dtype) so a
+    float32 model's ``sparse_matmul`` stays float32 end to end instead of
+    silently upcasting every propagation.
     """
+    if dtype is None:
+        dtype = active_backend().dtype
     size = num_users + num_items
     pairs = np.asarray(list(pairs), dtype=np.int64).reshape(-1, 2)
     if pairs.size == 0:
@@ -52,7 +62,10 @@ def build_normalized_adjacency(
         inverse_sqrt = np.power(degrees, -0.5)
     inverse_sqrt[~np.isfinite(inverse_sqrt)] = 0.0
     normalizer = sp.diags(inverse_sqrt)
-    return (normalizer @ adjacency @ normalizer).tocsr()
+    normalized = (normalizer @ adjacency @ normalizer).tocsr()
+    if normalized.dtype != dtype:
+        normalized = normalized.astype(dtype)
+    return normalized
 
 
 def pairs_from_scores(

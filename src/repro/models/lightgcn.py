@@ -42,7 +42,8 @@ class LightGCN(Recommender):
             init.xavier_uniform((size, embedding_dim), rng), name="node_embedding"
         )
         self._adjacency = build_normalized_adjacency(
-            num_users, num_items, interaction_pairs if interaction_pairs is not None else []
+            num_users, num_items, interaction_pairs if interaction_pairs is not None else [],
+            dtype=self.node_embedding.data.dtype,
         )
         self.register_buffer("_item_update_counts", np.zeros(num_items, dtype=np.int64))
         self._cached_final: Optional[np.ndarray] = None
@@ -51,8 +52,16 @@ class LightGCN(Recommender):
     # Graph management
     # ------------------------------------------------------------------
     def set_interaction_graph(self, pairs: Sequence[Tuple[int, int]]) -> None:
-        """Replace the propagation graph (used by the PTF-FedRec server)."""
-        self._adjacency = build_normalized_adjacency(self.num_users, self.num_items, pairs)
+        """Replace the propagation graph (used by the PTF-FedRec server).
+
+        The adjacency dtype follows the model's own parameters (not the
+        ambient backend), so a float32 model propagates in float32 no
+        matter which context rebuilds its graph.
+        """
+        self._adjacency = build_normalized_adjacency(
+            self.num_users, self.num_items, pairs,
+            dtype=self.node_embedding.data.dtype,
+        )
         self._cached_final = None
 
     @property
@@ -87,7 +96,9 @@ class LightGCN(Recommender):
             return self.propagate()
         if self._cached_final is None:
             self._cached_final = self.propagate().numpy()
-        return Tensor(self._cached_final)
+        # _wrap: share the cache without a dtype renormalization (a plain
+        # Tensor(...) would upcast a float32 cache outside use_backend).
+        return Tensor._wrap(self._cached_final)
 
     # ------------------------------------------------------------------
     # Scoring

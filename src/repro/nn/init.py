@@ -3,42 +3,55 @@
 All initializers take an explicit :class:`numpy.random.Generator` so model
 construction is fully reproducible from a seed — important because the
 federated experiments compare methods from identical starting points.
+
+Random draws always happen in float64 (the generator's native precision,
+and the only way two backends can start from the *same* random values);
+the result is then cast to the active backend's dtype — under the default
+``"numpy"`` backend the cast is the identity, so reference initialization
+is bit-identical to the pre-backend code.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor.backend import active_backend
+
+
+def _cast(values: np.ndarray) -> np.ndarray:
+    """Cast freshly drawn float64 values to the active backend dtype."""
+    return active_backend().asarray(values)
+
 
 def xavier_uniform(shape, rng: np.random.Generator) -> np.ndarray:
     """Glorot/Xavier uniform initialization (used by NGCF/LightGCN)."""
     fan_in, fan_out = _fans(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return _cast(rng.uniform(-limit, limit, size=shape))
 
 
 def xavier_normal(shape, rng: np.random.Generator) -> np.ndarray:
     """Glorot/Xavier normal initialization."""
     fan_in, fan_out = _fans(shape)
     std = np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return _cast(rng.normal(0.0, std, size=shape))
 
 
 def kaiming_uniform(shape, rng: np.random.Generator) -> np.ndarray:
     """He uniform initialization (for ReLU MLPs such as NeuMF's tower)."""
     fan_in, _ = _fans(shape)
     limit = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-limit, limit, size=shape)
+    return _cast(rng.uniform(-limit, limit, size=shape))
 
 
 def normal(shape, rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
     """Small-variance normal initialization (classic for embeddings)."""
-    return rng.normal(0.0, std, size=shape)
+    return _cast(rng.normal(0.0, std, size=shape))
 
 
 def zeros(shape, rng: np.random.Generator | None = None) -> np.ndarray:
     """All-zeros initialization (biases)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=active_backend().dtype)
 
 
 def _fans(shape) -> tuple[int, int]:

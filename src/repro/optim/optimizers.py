@@ -4,37 +4,90 @@ The paper trains every model with Adam (learning rate 0.001); SGD with
 optional momentum is provided as well because the federated baselines
 (FCF-style local updates) historically use it and the ablation benches
 compare both.
+
+The per-parameter update arithmetic itself lives in the active tensor
+backend (:mod:`repro.tensor.backend`): the default ``"numpy"`` backend
+reproduces the historical out-of-place float64 updates bit for bit, while
+``"numpy32"`` runs fused in-place float32 kernels over reusable scratch
+buffers.  An optimizer captures the backend active at construction, so a
+model built under ``use_backend("numpy32")`` keeps its fused kernels even
+when ``step()`` later runs outside the context.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
 from repro.tensor import Tensor
+from repro.tensor.backend import Backend, get_backend
 
 
 def _load_indexed_arrays(target: Dict[int, np.ndarray], source: Dict, count: int) -> None:
-    """Replace ``target`` with index-keyed arrays from a state mapping."""
+    """Replace ``target`` with index-keyed arrays from a state mapping.
+
+    Arrays are *copied* in: the in-place fused kernels of the ``numpy32``
+    backend mutate the optimizer's moment/velocity buffers directly, so
+    aliasing the caller's state dict would corrupt it (e.g. a loaded
+    ``Checkpoint.state`` tree after the next training round).
+    """
     target.clear()
     for key, value in source.items():
         index = int(key)
         if not 0 <= index < count:
             raise IndexError(f"optimizer state index {index} out of range [0, {count})")
-        target[index] = np.asarray(value)
+        target[index] = np.array(value)
 
 
 class Optimizer:
-    """Base class holding a parameter list and common bookkeeping."""
+    """Base class holding a parameter list and common bookkeeping.
 
-    def __init__(self, parameters: Iterable[Tensor], lr: float):
+    ``backend`` selects the update kernels (a name, a
+    :class:`~repro.tensor.backend.Backend`, or ``None`` for the backend
+    active at construction time).  In-place backends reuse per-parameter
+    scratch buffers across steps, so no update allocates parameter-sized
+    temporaries.
+    """
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float,
+                 backend: Union[str, Backend, None] = None):
         self.parameters: List[Tensor] = list(parameters)
         if not self.parameters:
             raise ValueError("optimizer received an empty parameter list")
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
         self.lr = lr
+        self.backend = get_backend(backend)
+        self._scratch: Dict[tuple, tuple] = {}
+
+    def _scratch_for(self, parameter: Tensor) -> Optional[tuple]:
+        """Reusable scratch pair for in-place kernels (``None`` for reference).
+
+        Keyed by ``(shape, dtype)`` rather than parameter index: ``step()``
+        updates parameters sequentially, so same-shaped parameters can
+        share one pair — halving resident scratch for models whose big
+        tables repeat a shape (and scratch contents never survive a step).
+        """
+        if not self.backend.inplace:
+            return None
+        key = (parameter.data.shape, parameter.data.dtype)
+        scratch = self._scratch.get(key)
+        if scratch is None:
+            scratch = self._scratch[key] = (
+                np.empty_like(parameter.data), np.empty_like(parameter.data)
+            )
+        return scratch
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle without the scratch buffers (content-free; lazily rebuilt).
+
+        Keeps the payload lean when the multiprocess scheduler ships
+        client optimizers to workers and back.
+        """
+        state = self.__dict__.copy()
+        state["_scratch"] = {}
+        return state
 
     def zero_grad(self) -> None:
         """Clear gradients on all managed parameters."""
@@ -78,8 +131,9 @@ class SGD(Optimizer):
         lr: float = 0.01,
         momentum: float = 0.0,
         weight_decay: float = 0.0,
+        backend: Union[str, Backend, None] = None,
     ):
-        super().__init__(parameters, lr)
+        super().__init__(parameters, lr, backend=backend)
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = momentum
@@ -87,20 +141,21 @@ class SGD(Optimizer):
         self._velocity: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
+        kernel = self.backend.sgd_update
         for index, parameter in enumerate(self.parameters):
             if parameter.grad is None:
                 continue
-            grad = parameter.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * parameter.data
+            parameter.data, velocity = kernel(
+                parameter.data,
+                parameter.grad,
+                self.lr,
+                momentum=self.momentum,
+                weight_decay=self.weight_decay,
+                velocity=self._velocity.get(index) if self.momentum else None,
+                scratch=self._scratch_for(parameter),
+            )
             if self.momentum:
-                velocity = self._velocity.get(index)
-                if velocity is None:
-                    velocity = np.zeros_like(parameter.data)
-                velocity = self.momentum * velocity + grad
                 self._velocity[index] = velocity
-                grad = velocity
-            parameter.data = parameter.data - self.lr * grad
 
     def state_dict(self) -> Dict[str, Any]:
         """Momentum velocities keyed by parameter index."""
@@ -130,8 +185,9 @@ class Adam(Optimizer):
         betas: tuple = (0.9, 0.999),
         eps: float = 1e-8,
         weight_decay: float = 0.0,
+        backend: Union[str, Backend, None] = None,
     ):
-        super().__init__(parameters, lr)
+        super().__init__(parameters, lr, backend=backend)
         beta1, beta2 = betas
         if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
             raise ValueError(f"betas must be in [0, 1), got {betas}")
@@ -144,26 +200,32 @@ class Adam(Optimizer):
         self._second_moment: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
+        kernel = self.backend.adam_update
         for index, parameter in enumerate(self.parameters):
             if parameter.grad is None:
                 continue
-            grad = parameter.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * parameter.data
             step = self._steps.get(index, 0) + 1
             first = self._first_moment.get(index)
             second = self._second_moment.get(index)
             if first is None:
                 first = np.zeros_like(parameter.data)
                 second = np.zeros_like(parameter.data)
-            first = self.beta1 * first + (1.0 - self.beta1) * grad
-            second = self.beta2 * second + (1.0 - self.beta2) * (grad * grad)
+            parameter.data, first, second = kernel(
+                parameter.data,
+                parameter.grad,
+                step,
+                first,
+                second,
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                weight_decay=self.weight_decay,
+                scratch=self._scratch_for(parameter),
+            )
             self._steps[index] = step
             self._first_moment[index] = first
             self._second_moment[index] = second
-            first_hat = first / (1.0 - self.beta1 ** step)
-            second_hat = second / (1.0 - self.beta2 ** step)
-            parameter.data = parameter.data - self.lr * first_hat / (np.sqrt(second_hat) + self.eps)
 
     # ------------------------------------------------------------------
     # Serialization (used by repro.artifacts checkpoints)

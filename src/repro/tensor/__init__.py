@@ -11,6 +11,17 @@ The public surface intentionally mirrors a small slice of the PyTorch API
 :mod:`repro.models` reads like conventional deep-learning code.
 """
 
+from repro.tensor.backend import (
+    Backend,
+    Numpy32Backend,
+    NumpyBackend,
+    active_backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
 from repro.tensor import functional
 from repro.tensor.gradcheck import check_gradients
@@ -21,4 +32,13 @@ __all__ = [
     "is_grad_enabled",
     "functional",
     "check_gradients",
+    "Backend",
+    "NumpyBackend",
+    "Numpy32Backend",
+    "active_backend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_backend",
+    "use_backend",
 ]

@@ -16,6 +16,33 @@ from repro.tensor.tensor import Tensor
 _EPS = 1e-12
 
 
+def _as_targets(targets, like: Tensor) -> Tensor:
+    """Wrap targets in the *predictions'* dtype, not the ambient backend's.
+
+    Losses follow the same weak-operand rule as the tensor binary ops: a
+    float32 model's loss stays float32 even when computed outside any
+    ``use_backend`` context (a plain ``Tensor(targets)`` would adopt the
+    ambient dtype and silently promote the whole loss graph).
+    """
+    if isinstance(targets, Tensor):
+        return targets
+    return Tensor._wrap(np.asarray(targets, dtype=like.data.dtype))
+
+
+def _clip_eps(dtype) -> float:
+    """Probability-clipping epsilon for ``dtype``.
+
+    Float64 keeps the historical ``1e-12`` (bit-identical reference path).
+    Narrower dtypes need a wider margin: in float32, ``1.0 - 1e-12`` rounds
+    to exactly ``1.0`` and ``(1 - p).log()`` would produce ``-inf`` — so the
+    epsilon becomes the dtype's ``epsneg`` (the gap below 1.0), the
+    tightest clip that still keeps both logs finite.
+    """
+    if np.dtype(dtype).itemsize >= 8:
+        return _EPS
+    return float(np.finfo(dtype).epsneg)
+
+
 def sigmoid(x: Tensor) -> Tensor:
     """Elementwise logistic sigmoid."""
     return x.sigmoid()
@@ -48,8 +75,9 @@ def binary_cross_entropy(probabilities: Tensor, targets: Union[Tensor, np.ndarra
     the server (Eq. 5) and the clients (Eq. 3) train against prediction
     scores produced by the other side.
     """
-    targets = targets if isinstance(targets, Tensor) else Tensor(targets)
-    clipped = probabilities.clip(_EPS, 1.0 - _EPS)
+    targets = _as_targets(targets, probabilities)
+    eps = _clip_eps(probabilities.data.dtype)
+    clipped = probabilities.clip(eps, 1.0 - eps)
     loss = -(targets * clipped.log() + (1.0 - targets) * (1.0 - clipped).log())
     return loss.mean()
 
@@ -65,8 +93,9 @@ def binary_cross_entropy_per_row(
     to a single client's 1-D batch — the property that makes the batched
     execution engine bit-identical to the serial per-client loop.
     """
-    targets = targets if isinstance(targets, Tensor) else Tensor(targets)
-    clipped = probabilities.clip(_EPS, 1.0 - _EPS)
+    targets = _as_targets(targets, probabilities)
+    eps = _clip_eps(probabilities.data.dtype)
+    clipped = probabilities.clip(eps, 1.0 - eps)
     loss = -(targets * clipped.log() + (1.0 - targets) * (1.0 - clipped).log())
     return loss.mean(axis=loss.ndim - 1)
 
@@ -84,7 +113,8 @@ def bpr_loss(positive_scores: Tensor, negative_scores: Tensor) -> Tensor:
     BPR training paths improve ranking quality.
     """
     difference = positive_scores - negative_scores
-    return -(difference.sigmoid().clip(_EPS, 1.0).log()).mean()
+    eps = _clip_eps(difference.data.dtype)
+    return -(difference.sigmoid().clip(eps, 1.0).log()).mean()
 
 
 def l2_regularization(tensors: Iterable[Tensor], weight: float) -> Tensor:
@@ -100,6 +130,6 @@ def l2_regularization(tensors: Iterable[Tensor], weight: float) -> Tensor:
 
 def mse_loss(predictions: Tensor, targets: Union[Tensor, np.ndarray]) -> Tensor:
     """Mean squared error."""
-    targets = targets if isinstance(targets, Tensor) else Tensor(targets)
+    targets = _as_targets(targets, predictions)
     diff = predictions - targets
     return (diff * diff).mean()

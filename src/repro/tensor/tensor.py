@@ -10,24 +10,46 @@ and accumulates gradients into every tensor created with
 Only the operations required by the recommendation models in this
 repository are implemented, but each one supports full NumPy broadcasting
 and is covered by finite-difference gradient checks in the test suite.
+
+Precision policy
+----------------
+The floating dtype of new tensors is owned by the active
+:class:`~repro.tensor.backend.Backend` (float64 under the default
+``"numpy"`` backend, float32 under ``"numpy32"``).  Operations *preserve*
+their operands' dtype — only construction from foreign data consults the
+backend — so a float32 model keeps computing in float32 even when no
+backend is explicitly activated around inference.
+
+Gradient recording is context-local (:func:`no_grad` in one thread never
+disables recording in another), and when recording is off each operation
+skips graph bookkeeping entirely: no parent links, no backward closure,
+just the raw NumPy computation.
 """
 
 from __future__ import annotations
 
 import contextlib
+import contextvars
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.tensor.backend import active_backend
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-_GRAD_ENABLED = True
+# Context-local so that ``no_grad`` composes with threads: an inference
+# thread in the serving tier must not switch off recording for a training
+# thread sharing the process (a plain module global did exactly that).
+_GRAD_ENABLED: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro_grad_enabled", default=True
+)
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record gradients."""
-    return _GRAD_ENABLED
+    """Return whether operations currently record gradients (context-local)."""
+    return _GRAD_ENABLED.get()
 
 
 @contextlib.contextmanager
@@ -36,18 +58,37 @@ def no_grad():
 
     Used for inference passes (e.g. producing the prediction scores that
     clients upload in PTF-FedRec) where building a graph would waste time
-    and memory.
+    and memory.  Inside the context every operation takes the fast path:
+    it computes its NumPy result and returns a bare tensor with no parents
+    and no backward closure.
+
+    The flag lives in a :class:`contextvars.ContextVar`, so the context
+    only affects the current thread (and tasks spawned from it) —
+    concurrent training in another thread keeps recording.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    token = _GRAD_ENABLED.set(False)
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_ENABLED.reset(token)
 
 
-def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
+def _as_array(data: ArrayLike, dtype=None) -> np.ndarray:
+    """Normalize ``data`` to an ndarray of ``dtype`` (backend default).
+
+    **Aliasing contract** (same as :meth:`Backend.asarray`, to which the
+    default branch delegates): an ndarray already carrying the target
+    dtype is returned *uncopied* — the caller's array and the tensor share
+    storage, so in-place writes through either alias are visible through
+    both.  The optimizers rely on this (they update ``Tensor.data`` that
+    model code keeps referencing); callers that need isolation pass
+    ``copy=True`` to the :class:`Tensor` constructor.  A dtype mismatch
+    always allocates (``astype`` copies).
+    """
+    if dtype is None:
+        # Delegate so a registered custom backend's asarray override (a
+        # pinned-memory or device backend, say) governs construction too.
+        return active_backend().asarray(data)
     if isinstance(data, np.ndarray):
         if data.dtype != dtype:
             return data.astype(dtype)
@@ -70,6 +111,30 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _coerce(other, like: np.ndarray) -> "Tensor":
+    """Wrap a non-Tensor binary-op operand in the *tensor's own* dtype.
+
+    Scalars and foreign arrays follow the tensor they combine with (the way
+    NEP 50 treats weak scalars), not the ambient backend — so ``x * 2.0``
+    on a float32 model stays float32 even outside ``use_backend``.  Under
+    the default backend everything is float64 either way, so the reference
+    path is unchanged bit for bit.
+    """
+    if isinstance(other, Tensor):
+        return other
+    return Tensor._wrap(_as_array(other, dtype=like.dtype))
+
+
+def _recording(*parents: "Tensor") -> bool:
+    """Whether an op over ``parents`` must record graph bookkeeping."""
+    if not _GRAD_ENABLED.get():
+        return False
+    for parent in parents:
+        if parent.requires_grad or parent._backward is not None:
+            return True
+    return False
+
+
 class Tensor:
     """A NumPy array with an optional gradient and autodiff history."""
 
@@ -80,9 +145,19 @@ class Tensor:
         data: ArrayLike,
         requires_grad: bool = False,
         name: Optional[str] = None,
+        copy: bool = False,
     ):
-        self.data = _as_array(data)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        """Wrap ``data`` in a tensor of the active backend's dtype.
+
+        By default an ndarray that already carries the backend dtype is
+        **shared, not copied** (see :func:`_as_array`); ``copy=True``
+        forces the tensor to own private storage regardless.
+        """
+        array = _as_array(data)
+        if copy and array is data:
+            array = array.copy()
+        self.data = array
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED.get()
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
@@ -91,6 +166,25 @@ class Tensor:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def _wrap(data: np.ndarray) -> "Tensor":
+        """Wrap an op result as-is: no dtype normalization, no copy.
+
+        Internal fast constructor for operation outputs — their dtype is
+        already determined by the operands (which is what keeps float32
+        models in float32 without an active backend), so routing them
+        through ``__init__`` would at best be a wasted check and at worst
+        an unwanted upcast.
+        """
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.requires_grad = False
+        out.grad = None
+        out._backward = None
+        out._parents = ()
+        out.name = None
+        return out
+
     @staticmethod
     def zeros(shape, requires_grad: bool = False) -> "Tensor":
         return Tensor(np.zeros(shape), requires_grad=requires_grad)
@@ -120,6 +214,10 @@ class Tensor:
     def size(self) -> int:
         return self.data.size
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
     def numpy(self) -> np.ndarray:
         """Return the underlying array (no copy)."""
         return self.data
@@ -129,7 +227,7 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor._wrap(self.data)
 
     def __repr__(self) -> str:
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
@@ -160,7 +258,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar outputs")
             grad = np.ones_like(self.data)
-        grad = _as_array(grad)
+        grad = _as_array(grad, dtype=self.data.dtype)
 
         order: List[Tensor] = []
         visited = set()
@@ -196,24 +294,25 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Tuple["Tensor", ...],
               backward: Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]]) -> "Tensor":
-        requires = _GRAD_ENABLED and any(
-            p.requires_grad or p._backward is not None for p in parents
-        )
-        out = Tensor(data)
-        if requires:
-            out._parents = parents
-            out._backward = backward
-            # The output itself only stores a grad if someone asks; mark it
-            # as graph-connected so chained ops keep recording.
-            out.requires_grad = False
+        """Attach graph bookkeeping to an op result.
+
+        Callers guard with :func:`_recording` first — when recording is off
+        they return ``Tensor._wrap(data)`` directly and never even build
+        the backward closure.
+        """
+        out = Tensor._wrap(data)
+        out._parents = parents
+        out._backward = backward
         return out
 
     # ------------------------------------------------------------------
     # Elementwise arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _coerce(other, self.data)
         data = self.data + other.data
+        if not _recording(self, other):
+            return Tensor._wrap(data)
 
         def backward(grad):
             return (
@@ -226,8 +325,10 @@ class Tensor:
     __radd__ = __add__
 
     def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _coerce(other, self.data)
         data = self.data - other.data
+        if not _recording(self, other):
+            return Tensor._wrap(data)
 
         def backward(grad):
             return (
@@ -238,11 +339,13 @@ class Tensor:
         return Tensor._make(data, (self, other), backward)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other) - self
+        return _coerce(other, self.data) - self
 
     def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _coerce(other, self.data)
         data = self.data * other.data
+        if not _recording(self, other):
+            return Tensor._wrap(data)
 
         def backward(grad):
             return (
@@ -255,8 +358,10 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _coerce(other, self.data)
         data = self.data / other.data
+        if not _recording(self, other):
+            return Tensor._wrap(data)
 
         def backward(grad):
             return (
@@ -267,10 +372,12 @@ class Tensor:
         return Tensor._make(data, (self, other), backward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other) / self
+        return _coerce(other, self.data) / self
 
     def __neg__(self) -> "Tensor":
         data = -self.data
+        if not _recording(self):
+            return Tensor._wrap(data)
 
         def backward(grad):
             return (-grad,)
@@ -279,6 +386,8 @@ class Tensor:
 
     def __pow__(self, exponent: float) -> "Tensor":
         data = self.data ** exponent
+        if not _recording(self):
+            return Tensor._wrap(data)
 
         def backward(grad):
             return (grad * exponent * self.data ** (exponent - 1),)
@@ -296,8 +405,10 @@ class Tensor:
         :mod:`repro.engine` runs one cohort of per-client models as a single
         stacked operation.
         """
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _coerce(other, self.data)
         data = self.data @ other.data
+        if not _recording(self, other):
+            return Tensor._wrap(data)
 
         def backward(grad):
             if self.data.ndim >= 2 and other.data.ndim >= 2:
@@ -318,6 +429,8 @@ class Tensor:
 
     def transpose(self) -> "Tensor":
         data = self.data.T
+        if not _recording(self):
+            return Tensor._wrap(data)
 
         def backward(grad):
             return (grad.T,)
@@ -336,6 +449,8 @@ class Tensor:
         layers multiplies as one batched ``matmul``.
         """
         data = self.data.swapaxes(axis1, axis2)
+        if not _recording(self):
+            return Tensor._wrap(data)
 
         def backward(grad):
             return (grad.swapaxes(axis1, axis2),)
@@ -347,6 +462,8 @@ class Tensor:
             shape = tuple(shape[0])
         original = self.shape
         data = self.data.reshape(shape)
+        if not _recording(self):
+            return Tensor._wrap(data)
 
         def backward(grad):
             return (grad.reshape(original),)
@@ -358,6 +475,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not _recording(self):
+            return Tensor._wrap(data)
 
         def backward(grad):
             grad_arr = np.asarray(grad)
@@ -379,6 +498,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         data = np.exp(self.data)
+        if not _recording(self):
+            return Tensor._wrap(data)
 
         def backward(grad):
             return (grad * data,)
@@ -387,6 +508,8 @@ class Tensor:
 
     def log(self) -> "Tensor":
         data = np.log(self.data)
+        if not _recording(self):
+            return Tensor._wrap(data)
 
         def backward(grad):
             return (grad / self.data,)
@@ -395,6 +518,8 @@ class Tensor:
 
     def sigmoid(self) -> "Tensor":
         data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        if not _recording(self):
+            return Tensor._wrap(data)
 
         def backward(grad):
             return (grad * data * (1.0 - data),)
@@ -404,6 +529,8 @@ class Tensor:
     def relu(self) -> "Tensor":
         mask = self.data > 0
         data = self.data * mask
+        if not _recording(self):
+            return Tensor._wrap(data)
 
         def backward(grad):
             return (grad * mask,)
@@ -412,6 +539,8 @@ class Tensor:
 
     def tanh(self) -> "Tensor":
         data = np.tanh(self.data)
+        if not _recording(self):
+            return Tensor._wrap(data)
 
         def backward(grad):
             return (grad * (1.0 - data ** 2),)
@@ -421,6 +550,8 @@ class Tensor:
     def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
         mask = self.data > 0
         data = np.where(mask, self.data, negative_slope * self.data)
+        if not _recording(self):
+            return Tensor._wrap(data)
 
         def backward(grad):
             return (grad * np.where(mask, 1.0, negative_slope),)
@@ -429,6 +560,8 @@ class Tensor:
 
     def clip(self, low: float, high: float) -> "Tensor":
         data = np.clip(self.data, low, high)
+        if not _recording(self):
+            return Tensor._wrap(data)
         mask = (self.data >= low) & (self.data <= high)
 
         def backward(grad):
@@ -448,6 +581,8 @@ class Tensor:
         """
         indices = np.asarray(indices, dtype=np.int64)
         data = self.data[indices]
+        if not _recording(self):
+            return Tensor._wrap(data)
 
         def backward(grad):
             full = np.zeros_like(self.data)
@@ -458,6 +593,8 @@ class Tensor:
 
     def __getitem__(self, key) -> "Tensor":
         data = self.data[key]
+        if not _recording(self):
+            return Tensor._wrap(data)
 
         def backward(grad):
             full = np.zeros_like(self.data)
@@ -470,9 +607,25 @@ class Tensor:
     # Shape combinators
     # ------------------------------------------------------------------
     @staticmethod
+    def _coerce_group(tensors: Iterable) -> List["Tensor"]:
+        """Wrap a mixed tensor/array sequence for a shape combinator.
+
+        Raw operands follow the dtype of the first actual tensor in the
+        group (the same weak-operand rule as the binary ops); an all-raw
+        group falls back to the active backend via the constructor.
+        """
+        tensors = list(tensors)
+        reference = next((t.data for t in tensors if isinstance(t, Tensor)), None)
+        if reference is None:
+            return [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        return [t if isinstance(t, Tensor) else _coerce(t, reference) for t in tensors]
+
+    @staticmethod
     def concat(tensors: Iterable["Tensor"], axis: int = -1) -> "Tensor":
-        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        tensors = Tensor._coerce_group(tensors)
         data = np.concatenate([t.data for t in tensors], axis=axis)
+        if not _recording(*tensors):
+            return Tensor._wrap(data)
         sizes = [t.data.shape[axis] for t in tensors]
 
         def backward(grad):
@@ -484,8 +637,10 @@ class Tensor:
 
     @staticmethod
     def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
-        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        tensors = Tensor._coerce_group(tensors)
         data = np.stack([t.data for t in tensors], axis=axis)
+        if not _recording(*tensors):
+            return Tensor._wrap(data)
 
         def backward(grad):
             pieces = np.split(grad, len(tensors), axis=axis)
@@ -506,6 +661,8 @@ class Tensor:
         """
         csr = matrix.tocsr()
         data = csr @ self.data
+        if not _recording(self):
+            return Tensor._wrap(data)
 
         def backward(grad):
             return (csr.T @ grad,)

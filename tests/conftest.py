@@ -2,11 +2,23 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.data import debug_dataset
+from repro.tensor import set_backend
 from repro.utils import RngFactory
+
+# REPRO_BACKEND=numpy32 runs the whole suite under the fast backend (the
+# CI matrix does this): the session default changes, so every
+# default-constructed spec/model/optimizer computes in float32.  All
+# equality-based tests compare two runs under the *same* backend, so they
+# hold under either; tests that pin a backend explicitly are unaffected.
+_ENV_BACKEND = os.environ.get("REPRO_BACKEND")
+if _ENV_BACKEND:
+    set_backend(_ENV_BACKEND)
 
 
 @pytest.fixture

@@ -15,12 +15,14 @@ import repro.engine
 import repro.engine.batch
 import repro.engine.spec
 import repro.experiments.spec
+import repro.tensor.backend
 
 MODULES = [
     repro.engine,
     repro.engine.spec,
     repro.engine.batch,
     repro.experiments.spec,
+    repro.tensor.backend,
 ]
 
 

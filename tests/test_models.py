@@ -111,6 +111,13 @@ class TestTrainability:
         def loss():
             return loss_fn(model.score(users, items), labels)
 
+        if parameters[0].dtype != np.float64:
+            # The smallest float32 finite-difference step still straddles
+            # ReLU kinks of a randomly initialized MLP, so the numeric
+            # estimate averages two slopes and cannot certify the backward.
+            # Op-level float32 gradient checks (with inputs kept away from
+            # kinks) live in tests/test_tensor_backend.py.
+            pytest.skip("end-to-end ReLU-net gradcheck requires float64")
         model.eval()  # keep update counters quiet during repeated evaluation
         check_gradients(loss, parameters[:4], atol=2e-4)
 

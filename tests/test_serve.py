@@ -61,9 +61,17 @@ class TestBatchScores:
         users = np.asarray(tiny_dataset.users[:8], dtype=np.int64)
         matrix = batch_scores(model, users)
         assert matrix.shape == (users.size, model.num_items)
+        # The closed forms run the same arithmetic as the per-user tensor
+        # pass under float64; under float32 the BLAS cohort matmul may
+        # accumulate in a different order, so compare at dtype precision.
+        dtype = next(iter(model.parameters())).dtype
+        tolerance = (
+            dict(rtol=1e-10, atol=1e-12) if dtype == np.float64
+            else dict(rtol=1e-4, atol=1e-6)
+        )
         for row, user in zip(matrix, users):
             np.testing.assert_allclose(
-                row, model.score_all_items(int(user)), rtol=1e-10, atol=1e-12
+                row, model.score_all_items(int(user)), **tolerance
             )
 
     def test_out_of_range_user_raises(self, trained):

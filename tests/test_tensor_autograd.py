@@ -133,7 +133,10 @@ class TestBackwardMechanics:
     def test_numerical_gradient_helper_matches_simple_case(self):
         a = Tensor([2.0], requires_grad=True)
         numeric = numerical_gradient(lambda: (a * a).sum(), a)
-        np.testing.assert_allclose(numeric, [4.0], atol=1e-5)
+        # Float32 evaluates the loss to ~1e-7 relative precision, so the
+        # finite-difference estimate is correspondingly coarser.
+        atol = 1e-5 if a.dtype == np.float64 else 1e-3
+        np.testing.assert_allclose(numeric, [4.0], atol=atol)
 
     def test_check_gradients_detects_mismatch(self):
         a = Tensor([1.0, 2.0], requires_grad=True)
