@@ -1,0 +1,112 @@
+"""CI smoke for dynamic-federation scenarios: run a fault, dump telemetry.
+
+Runs one short faulted experiment (the fault preset named on the command
+line) for both a prediction-transmission trainer (``ptf``) and a
+parameter-transmission baseline (``fcf``), and writes the participation
+telemetry — the per-round ``selected`` / ``completed`` / ``dropped`` /
+``straggled`` / ``stale_applied`` counters plus the run totals and final
+ranking metrics — as JSON.  The CI ``scenario-smoke`` job runs the preset
+matrix under both tensor backends and uploads each leg's JSON as a
+workflow artifact, so participation under faults is inspectable per
+commit without rerunning anything.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/scenario_smoke.py <fault> [output.json]
+
+where ``<fault>`` is one of ``churn``, ``straggler-sync``,
+``straggler-async`` or ``everything``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import repro
+from repro.scenario import PARTICIPATION_KEYS
+
+SEED = 2024
+ROUNDS = 6
+
+#: Same convention as the test suite: REPRO_BACKEND selects the tensor
+#: backend the runs compute under (default: the float64 reference).
+BACKEND = os.environ.get("REPRO_BACKEND", "numpy")
+
+FAULTS = {
+    "churn": {"dropout": 0.2},
+    "straggler-sync": {"deadline": 1.0, "latency_range": (0.5, 2.0)},
+    "straggler-async": {
+        "deadline": 1.0,
+        "latency_range": (0.5, 2.5),
+        "aggregation": "async",
+        "staleness_alpha": 0.5,
+        "max_staleness": 2,
+    },
+    "everything": {
+        "dropout": 0.2,
+        "deadline": 1.0,
+        "latency_range": (0.5, 2.5),
+        "aggregation": "async",
+        "user_arrival_fraction": 0.3,
+        "user_arrival_rounds": 3,
+        "item_arrival_fraction": 0.2,
+        "item_arrival_rounds": 3,
+    },
+}
+
+
+def run_one(trainer: str, fault: str) -> dict:
+    spec = repro.ExperimentSpec(
+        trainer=trainer,
+        seed=SEED,
+        backend=BACKEND,
+        model={"server_model": "mf", "client_model": "mf", "embedding_dim": 8},
+        protocol={"rounds": ROUNDS, "client_local_epochs": 1, "server_epochs": 1},
+        evaluation={"k": 10, "every": ROUNDS, "max_users": 32},
+        scenario=FAULTS[fault],
+    )
+    result = repro.run(spec)  # synthetic dataset seeded from spec.seed
+    rounds = [
+        {"round": record.round_index,
+         **{key: int(record.metrics[key]) for key in PARTICIPATION_KEYS}}
+        for record in result.history
+        if "selected" in record.metrics
+    ]
+    return {
+        "trainer": trainer,
+        "participation": result.participation.to_dict(),
+        "completion_rate": result.participation.completion_rate,
+        "rounds": rounds,
+        "final": result.final.as_dict(),
+        "duration_seconds": result.duration_seconds,
+    }
+
+
+def main(argv) -> None:
+    fault = argv[1] if len(argv) > 1 else "everything"
+    if fault not in FAULTS:
+        raise SystemExit(f"unknown fault {fault!r}; choose from {sorted(FAULTS)}")
+    output = argv[2] if len(argv) > 2 else f"participation-{fault}.json"
+    payload = {
+        "fault": fault,
+        "scenario": FAULTS[fault],
+        "backend": BACKEND,
+        "seed": SEED,
+        "runs": [run_one(trainer, fault) for trainer in ("ptf", "fcf")],
+    }
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    for run in payload["runs"]:
+        totals = run["participation"]
+        print(f"{fault} [{payload['backend']}] {run['trainer']}: "
+              f"{totals['completed']}/{totals['selected']} on time, "
+              f"{totals['dropped']} dropped, {totals['straggled']} straggled, "
+              f"{totals['stale_applied']} stale applied "
+              f"({run['duration_seconds']:.1f}s)")
+    print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

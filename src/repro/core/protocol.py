@@ -18,6 +18,7 @@ from repro.eval.ranking import RankingEvaluator, RankingResult
 from repro.eval.scoring import DEFAULT_CHUNK_SIZE
 from repro.tensor import no_grad
 from repro.federated.communication import CommunicationLedger, prediction_triple_bytes
+from repro.scenario import RoundParticipation, ScenarioEngine
 from repro.utils.rng import RngFactory
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -27,7 +28,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True)
 class RoundSummary:
-    """Bookkeeping for one global round."""
+    """Bookkeeping for one global round.
+
+    ``participation`` is only populated on rounds where dynamic federation
+    was in play (a scenario is configured, or a worker failure dropped a
+    client); plain rounds keep it ``None`` and their log schema unchanged.
+    """
 
     round_index: int
     num_clients: int
@@ -35,16 +41,20 @@ class RoundSummary:
     server_loss: float
     uploaded_records: int
     dispersed_records: int
+    participation: Optional[RoundParticipation] = None
 
     def as_logs(self) -> Dict[str, float]:
         """The round's scalar metrics in callback ``logs`` form."""
-        return {
+        logs = {
             "num_clients": self.num_clients,
             "client_loss": self.client_loss,
             "server_loss": self.server_loss,
             "uploaded_records": self.uploaded_records,
             "dispersed_records": self.dispersed_records,
         }
+        if self.participation is not None:
+            logs.update(self.participation.as_logs())
+        return logs
 
 
 class PTFFedRec:
@@ -95,6 +105,13 @@ class PTFFedRec:
                 )
                 for user in dataset.users
             }
+        self.scenario = ScenarioEngine(
+            self.spec.scenario, self._rngs, sorted(self.clients), dataset.num_items
+        )
+        # Buffered late uploads (async aggregation): each entry holds one
+        # straggler's prediction dataset and the round it folds into;
+        # serialized with the checkpoint so resume replays them.
+        self._stale_uploads: List[dict] = []
         self.round_summaries: List[RoundSummary] = []
         self.last_round_uploads: List[ClientUpload] = []
 
@@ -121,12 +138,21 @@ class PTFFedRec:
         consumption of the server's dispersal fan-out) runs through the
         configured execution engine; the scheduler choice never changes the
         numbers, only how fast they are produced.
+
+        With a scenario configured, the round instead runs the
+        dynamic-participation path (:meth:`_run_round_scenario`): churned
+        clients skip the round, stragglers' uploads are discarded or
+        buffered, and the server trains on what actually arrived.
         """
+        if self.scenario.enabled:
+            return self._run_round_scenario(round_index)
         selected = self._select_clients(round_index)
 
         losses = self.engine.train_ptf_clients(self.clients, selected, round_index)
-        client_losses: List[float] = [losses[user] for user in selected]
-        uploads = self.engine.build_ptf_uploads(self.clients, selected, round_index)
+        failed = set(self.engine.pop_failed())
+        active = [user for user in selected if user not in failed]
+        client_losses: List[float] = [losses[user] for user in active]
+        uploads = self.engine.build_ptf_uploads(self.clients, active, round_index)
         for upload in uploads:
             self.ledger.record(
                 round_index,
@@ -158,10 +184,135 @@ class PTFFedRec:
             server_loss=server_loss,
             uploaded_records=sum(upload.num_records for upload in uploads),
             dispersed_records=dispersed_total,
+            # Worker failures outside any scenario still surface as drops
+            # (healthy rounds keep participation=None and their log schema).
+            participation=RoundParticipation(
+                selected=len(selected),
+                completed=len(active),
+                dropped=len(failed),
+            ) if failed else None,
         )
         self.round_summaries.append(summary)
         self.last_round_uploads = uploads
         return summary
+
+    def _run_round_scenario(self, round_index: int) -> RoundSummary:
+        """One global round under fault injection.
+
+        Per the round's :class:`~repro.scenario.RoundPlan`: churned clients
+        do nothing, stragglers train and build their upload but it misses
+        the server's aggregation — discarded in sync mode, buffered until
+        ``round_index + staleness`` in async mode.  A buffered upload folds
+        in with staleness-decayed weight ``alpha / (staleness + 1)``,
+        realized as deterministic record subsampling (the server trains on
+        ``max(1, round(weight * n))`` of its ``n`` records, drawn from the
+        dedicated ``"scenario-staleness"`` stream), so stale knowledge
+        still arrives but moves the server proportionally less.  The
+        server disperses back to every client whose upload reached this
+        round — on-time and freshly-arrived stale ones — restricted to the
+        items that have streamed into the catalogue so far.
+        """
+        plan = self.scenario.plan_round(self._select_clients(round_index), round_index)
+
+        losses = self.engine.train_ptf_clients(
+            self.clients, list(plan.trained), round_index
+        )
+        failed = set(self.engine.pop_failed())
+        on_time = [user for user in plan.on_time if user not in failed]
+        client_losses = [losses[user] for user in plan.trained if user not in failed]
+
+        uploads = self.engine.build_ptf_uploads(self.clients, on_time, round_index)
+        stale_users = [user for user in plan.selected
+                       if user in plan.stale and user not in failed]
+        stale_uploads = self.engine.build_ptf_uploads(
+            self.clients, stale_users, round_index
+        )
+        for upload in uploads + stale_uploads:
+            self.ledger.record(
+                round_index,
+                upload.user_id,
+                "upload",
+                prediction_triple_bytes(upload.num_records),
+                description="client prediction dataset",
+            )
+        for user, upload in zip(stale_users, stale_uploads):
+            self._stale_uploads.append({
+                "due_round": round_index + plan.stale[user],
+                "origin_round": round_index,
+                "staleness": plan.stale[user],
+                "upload": upload,
+            })
+
+        # Fold in buffered uploads that are due this round, FIFO.
+        applied_uploads: List[ClientUpload] = []
+        pending_buffer = []
+        for entry in self._stale_uploads:
+            if int(entry["due_round"]) > round_index:
+                pending_buffer.append(entry)
+                continue
+            applied_uploads.append(self._decayed_upload(
+                entry["upload"], int(entry["staleness"]), int(entry["origin_round"])
+            ))
+        self._stale_uploads = pending_buffer
+
+        pool = uploads + applied_uploads
+        server_loss = self.server.train_on_uploads(pool, round_index)
+
+        dispersed_total = 0
+        item_mask = self.scenario.arrived_item_mask(round_index)
+        dispersals = self.engine.build_ptf_dispersals(
+            self.server, pool, round_index, item_mask=item_mask
+        )
+        for dispersal in dispersals:
+            self.clients[dispersal.user_id].receive_dispersal(dispersal.items, dispersal.scores)
+            dispersed_total += dispersal.num_records
+            self.ledger.record(
+                round_index,
+                dispersal.user_id,
+                "download",
+                prediction_triple_bytes(dispersal.num_records),
+                description="server dispersed predictions",
+            )
+
+        summary = RoundSummary(
+            round_index=round_index,
+            num_clients=len(plan.selected),
+            client_loss=float(np.mean(client_losses)) if client_losses else 0.0,
+            server_loss=server_loss,
+            uploaded_records=sum(upload.num_records for upload in pool),
+            dispersed_records=dispersed_total,
+            participation=RoundParticipation(
+                selected=len(plan.selected),
+                completed=len(on_time),
+                dropped=len(plan.dropped) + len(plan.lost) + len(failed),
+                straggled=len(plan.stale) + len(plan.lost),
+                stale_applied=len(applied_uploads),
+            ),
+        )
+        self.round_summaries.append(summary)
+        self.last_round_uploads = pool
+        return summary
+
+    def _decayed_upload(
+        self, upload: ClientUpload, staleness: int, origin_round: int
+    ) -> ClientUpload:
+        """Subsample a buffered upload down to its staleness weight."""
+        weight = self.scenario.staleness_weight(staleness)
+        if weight >= 1.0 or upload.num_records <= 1:
+            return upload
+        keep = max(1, int(round(weight * upload.num_records)))
+        if keep >= upload.num_records:
+            return upload
+        rng = self._rngs.spawn_indexed(
+            "scenario-staleness", upload.user_id * 1_000_003 + origin_round
+        )
+        index = np.sort(rng.choice(upload.num_records, size=keep, replace=False))
+        return ClientUpload(
+            user_id=upload.user_id,
+            items=upload.items[index],
+            scores=upload.scores[index],
+            true_positive_items=upload.true_positive_items,
+        )
 
     def fit(
         self,
@@ -211,8 +362,24 @@ class PTFFedRec:
                     "server_loss": summary.server_loss,
                     "uploaded_records": summary.uploaded_records,
                     "dispersed_records": summary.dispersed_records,
+                    "participation": (
+                        summary.participation.as_logs()
+                        if summary.participation is not None else None
+                    ),
                 }
                 for summary in self.round_summaries
+            ],
+            "stale_uploads": [
+                {
+                    "due_round": int(entry["due_round"]),
+                    "origin_round": int(entry["origin_round"]),
+                    "staleness": int(entry["staleness"]),
+                    "user_id": int(entry["upload"].user_id),
+                    "items": entry["upload"].items,
+                    "scores": entry["upload"].scores,
+                    "true_positive_items": entry["upload"].true_positive_items,
+                }
+                for entry in self._stale_uploads
             ],
             "ledger": self.ledger.state_dict(),
             "server": self.server.state_dict(),
@@ -245,8 +412,28 @@ class PTFFedRec:
                 server_loss=float(entry["server_loss"]),
                 uploaded_records=int(entry["uploaded_records"]),
                 dispersed_records=int(entry["dispersed_records"]),
+                participation=(
+                    RoundParticipation.from_logs(entry["participation"])
+                    if entry.get("participation") is not None else None
+                ),
             )
             for entry in state["round_summaries"]
+        ]
+        self._stale_uploads = [
+            {
+                "due_round": int(entry["due_round"]),
+                "origin_round": int(entry["origin_round"]),
+                "staleness": int(entry["staleness"]),
+                "upload": ClientUpload(
+                    user_id=int(entry["user_id"]),
+                    items=np.asarray(entry["items"], dtype=np.int64),
+                    scores=np.asarray(entry["scores"], dtype=np.float64),
+                    true_positive_items=np.asarray(
+                        entry["true_positive_items"], dtype=np.int64
+                    ),
+                ),
+            }
+            for entry in state.get("stale_uploads", [])
         ]
         self.last_round_uploads = []
 

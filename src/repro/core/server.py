@@ -21,7 +21,7 @@ the uploads, as described in DESIGN.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Sequence, Set, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -172,8 +172,19 @@ class PTFServer:
     # ------------------------------------------------------------------
     # Dispersal construction (Eq. 9)
     # ------------------------------------------------------------------
-    def build_dispersal(self, upload: ClientUpload, round_index: int) -> DispersedDataset:
-        """Build ``D̃_i`` for the client that produced ``upload``."""
+    def build_dispersal(
+        self,
+        upload: ClientUpload,
+        round_index: int,
+        item_mask: Optional[np.ndarray] = None,
+    ) -> DispersedDataset:
+        """Build ``D̃_i`` for the client that produced ``upload``.
+
+        ``item_mask`` (boolean, catalogue-length) restricts the candidate
+        pool — dynamic-federation runs pass the set of items that have
+        streamed into the catalogue so far, so the server never disperses
+        an item that does not exist yet.
+        """
         dispersal = self.spec.dispersal
         alpha = min(dispersal.alpha, self.num_items)
         if alpha == 0:
@@ -184,6 +195,8 @@ class PTFServer:
         # items, built with a boolean mask (the per-item Python loop this
         # replaces dominated round time on large catalogues).
         available = np.ones(self.num_items, dtype=bool)
+        if item_mask is not None:
+            available &= np.asarray(item_mask, dtype=bool)
         available[upload.items] = False
         candidates = np.flatnonzero(available).astype(np.int64)
         if candidates.size == 0:

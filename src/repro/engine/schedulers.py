@@ -72,6 +72,20 @@ class Scheduler:
 
     def __init__(self, spec: Optional[EngineSpec] = None):
         self.spec = spec if spec is not None else EngineSpec()
+        self._failed: List[int] = []
+
+    def pop_failed(self) -> List[int]:
+        """Drain the clients that failed permanently in the last phase.
+
+        Only the multiprocess scheduler ever reports failures (a worker
+        exception is caught, the client retried once on the driver, and
+        unrecovered clients land here); the in-process schedulers let
+        exceptions propagate, so this is always empty for them.  Drivers
+        call this after each training phase and report the drained clients
+        as dropped in the round metrics instead of crashing the run.
+        """
+        failed, self._failed = self._failed, []
+        return failed
 
     # ------------------------------------------------------------------
     # PTF-FedRec client phase
@@ -103,9 +117,17 @@ class Scheduler:
         server: "PTFServer",
         uploads: Sequence["ClientUpload"],
         round_index: int,
+        item_mask: Optional[np.ndarray] = None,
     ) -> List["DispersedDataset"]:
-        """Construct the server's dispersed datasets for every upload."""
-        return [server.build_dispersal(upload, round_index) for upload in uploads]
+        """Construct the server's dispersed datasets for every upload.
+
+        ``item_mask`` restricts the dispersal candidate pool (streaming
+        item arrivals); ``None`` leaves the full catalogue available.
+        """
+        return [
+            server.build_dispersal(upload, round_index, item_mask=item_mask)
+            for upload in uploads
+        ]
 
     # ------------------------------------------------------------------
     # FedAvg-baseline client phase (FCF / FedMF / MetaMF)
@@ -283,7 +305,14 @@ def _ptf_worker(payload):
     with use_backend(clients[0].spec.backend if clients else None):
         results = []
         for client in clients:
-            loss = client.local_train(round_index)
+            # One client blowing up must not abort the whole chunk (and with
+            # it the round): report the failure and let the parent retry the
+            # client on the driver from its own, untouched copy.
+            try:
+                loss = client.local_train(round_index)
+            except Exception:
+                results.append((client.user_id, None, None))
+                continue
             results.append((client.user_id, client, loss))
         return results
 
@@ -307,9 +336,24 @@ def _fedavg_worker(payload):
     with use_backend(getattr(config, "backend", None)):
         for user in users:
             load_public_state(model, public_names, global_state)
-            loss = fedavg_local_training(
-                model, rngs, config, user, positives[user], num_items, round_index
-            )
+            # A mid-training failure leaves the chunk's shared update
+            # counters partially incremented; snapshot and restore them so
+            # the failed client contributes exactly nothing (its public
+            # params are reloaded above and its private row is never
+            # reported back).
+            counts_before = {
+                attr: table.update_counts.copy()
+                for attr, table in _embedding_tables(model)
+            }
+            try:
+                loss = fedavg_local_training(
+                    model, rngs, config, user, positives[user], num_items, round_index
+                )
+            except Exception:
+                for attr, table in _embedding_tables(model):
+                    table.update_counts[...] = counts_before[attr]
+                results.append((user, None, None, None))
+                continue
             deltas = {
                 name: named[name].data - global_state[name] for name in public_names
             }
@@ -366,6 +410,16 @@ class MultiprocessScheduler(Scheduler):
         losses: Dict[int, float] = {}
         for chunk_result in chunk_results:
             for user, trained_client, loss in chunk_result:
+                if trained_client is None:
+                    # Worker failure: retry once on the driver from the
+                    # parent's own (untrained) client copy; if the retry
+                    # fails too, report the client as dropped rather than
+                    # aborting the round.
+                    try:
+                        losses[user] = clients[user].local_train(round_index)
+                    except Exception:
+                        self._failed.append(int(user))
+                    continue
                 clients[user] = trained_client
                 losses[user] = loss
         return losses
@@ -408,8 +462,12 @@ class MultiprocessScheduler(Scheduler):
         delta_sum = {name: np.zeros_like(value) for name, value in global_state.items()}
         update_count = {name: np.zeros_like(value) for name, value in global_state.items()}
         losses: Dict[int, float] = {}
+        retry: List[int] = []
         for chunk_result, count_increments in chunk_results:
             for user, loss, deltas, rows in chunk_result:
+                if loss is None:
+                    retry.append(int(user))
+                    continue
                 losses[user] = loss
                 for name in delta_sum:
                     delta = deltas[name]
@@ -419,5 +477,27 @@ class MultiprocessScheduler(Scheduler):
                     named[name].data[user] = row
             for attr, increments in count_increments.items():
                 tables[attr].update_counts += increments
+        # Retry worker failures once on the driver (after the healthy
+        # results, so their aggregation order is untouched); a client whose
+        # retry also fails is reported as dropped via pop_failed, with its
+        # private row and update counters restored to contribute nothing.
+        for user in retry:
+            rows_before = {name: named[name].data[user].copy() for name in private_names}
+            counts_before = {attr: table.update_counts.copy() for attr, table in tables.items()}
+            driver._load_public_state(global_state)
+            try:
+                losses[user] = driver._local_training(user, round_index)
+            except Exception:
+                for name, row in rows_before.items():
+                    named[name].data[user] = row
+                for attr, counts in counts_before.items():
+                    tables[attr].update_counts[...] = counts
+                self._failed.append(int(user))
+                continue
+            updated = driver._public_state()
+            for name in delta_sum:
+                delta = updated[name] - global_state[name]
+                delta_sum[name] += delta
+                update_count[name] += (delta != 0.0)
         driver.model.train()
         return losses, delta_sum, update_count

@@ -16,14 +16,26 @@ from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.eval.ranking import RankingResult
 from repro.experiments.spec import ExperimentSpec
+from repro.scenario.telemetry import ParticipationSummary
 
 
 @dataclass(frozen=True)
 class RoundRecord:
-    """Scalar metrics logged for one global round (or centralized epoch)."""
+    """Scalar metrics logged for one global round (or centralized epoch).
+
+    The key ``"round"`` is reserved for :attr:`round_index` in the
+    serialized form, so a metric may not use it.
+    """
 
     round_index: int
     metrics: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if "round" in self.metrics:
+            raise ValueError(
+                'metric name "round" is reserved for the round index; '
+                "rename the metric (e.g. to 'round_metric')"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         return {"round": self.round_index, **self.metrics}
@@ -115,10 +127,11 @@ class RunResult:
     communication: CommunicationSummary
     privacy: Optional[PrivacySummary]
     duration_seconds: float
+    participation: Optional[ParticipationSummary] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe nested dict (the schema is identical for all trainers)."""
-        return {
+        data = {
             "trainer": self.trainer,
             "spec": self.spec.to_dict(),
             "rounds_completed": self.rounds_completed,
@@ -132,11 +145,15 @@ class RunResult:
             "privacy": self.privacy.to_dict() if self.privacy is not None else None,
             "duration_seconds": self.duration_seconds,
         }
+        if self.participation is not None:
+            data["participation"] = self.participation.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
         """Inverse of :meth:`to_dict` (the schema every trainer shares)."""
         privacy = data.get("privacy")
+        participation = data.get("participation")
         return cls(
             trainer=str(data["trainer"]),
             spec=ExperimentSpec.from_dict(data["spec"]),
@@ -146,6 +163,11 @@ class RunResult:
             communication=CommunicationSummary.from_dict(data["communication"]),
             privacy=PrivacySummary.from_dict(privacy) if privacy is not None else None,
             duration_seconds=float(data["duration_seconds"]),
+            participation=(
+                ParticipationSummary.from_dict(participation)
+                if participation is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -36,6 +36,8 @@ def _check_resume_spec(spec: ExperimentSpec, stored: ExperimentSpec) -> None:
     ``evaluation`` / ``engine`` sections are observational or purely about
     execution speed — every scheduler is bit-identical — but any other
     difference means the resumed rounds would not belong to the same run.
+    The ``scenario`` section stays compared: changing the fault injection
+    mid-run would change the event stream the checkpoint promised to replay.
     """
     ours, theirs = spec.to_dict(), stored.to_dict()
     for data in (ours, theirs):
@@ -150,6 +152,12 @@ def run(
     if final is None:
         final = adapter.evaluate()
 
+    participation = None
+    if spec.scenario.enabled:
+        from repro.scenario.telemetry import ParticipationSummary
+
+        participation = ParticipationSummary.from_history(recorder.records)
+
     return RunResult(
         trainer=spec.trainer,
         spec=spec,
@@ -159,4 +167,5 @@ def run(
         communication=adapter.communication_summary(),
         privacy=adapter.privacy_summary(),
         duration_seconds=duration,
+        participation=participation,
     )

@@ -12,7 +12,11 @@ that sweeps can override one concern without re-stating the others:
 * :class:`EvalSpec` — ranking depth and in-training evaluation cadence,
 * :class:`~repro.engine.EngineSpec` — *how* the per-round client work is
   executed (serial / batched / multiprocess); purely a performance choice,
-  since every scheduler is bit-identical on a fixed seed.
+  since every scheduler is bit-identical on a fixed seed,
+* :class:`~repro.scenario.ScenarioSpec` — dynamic-federation fault
+  injection (churn, stragglers, async aggregation, streaming arrivals);
+  disabled by default, in which case runs are bit-identical to a
+  scenario-free build.
 
 Every spec round-trips losslessly through ``to_dict``/``from_dict`` and
 JSON, validates its fields on construction, and names the trainer that
@@ -40,6 +44,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Type
 from repro.core.config import DEFENSE_MODES, DISPERSAL_MODES
 from repro.engine.spec import EngineSpec
 from repro.eval.scoring import DEFAULT_CHUNK_SIZE
+from repro.scenario.spec import ScenarioSpec
 
 
 def _as_int_tuple(value) -> Tuple[int, ...]:
@@ -245,6 +250,7 @@ _SECTION_TYPES: Dict[str, type] = {
     "dispersal": DispersalSpec,
     "evaluation": EvalSpec,
     "engine": EngineSpec,
+    "scenario": ScenarioSpec,
 }
 
 #: Flat field name -> (section name, attribute name).  Lets callers (and the
@@ -316,6 +322,7 @@ class ExperimentSpec:
     dispersal: DispersalSpec = field(default_factory=DispersalSpec)
     evaluation: EvalSpec = field(default_factory=EvalSpec)
     engine: EngineSpec = field(default_factory=EngineSpec)
+    scenario: ScenarioSpec = field(default_factory=ScenarioSpec)
 
     def __post_init__(self) -> None:
         for name, section_cls in _SECTION_TYPES.items():

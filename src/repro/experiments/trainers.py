@@ -134,6 +134,15 @@ class TrainerAdapter:
         """The communication ledger, or None for ledger-free paradigms."""
         return getattr(self.system, "ledger", None)
 
+    def scenario_engine(self):
+        """The system's :class:`~repro.scenario.ScenarioEngine`, if any.
+
+        ``None`` for paradigms without dynamic-federation support (e.g.
+        centralized training); the serving layer uses it to gate the item
+        catalogue and pick cold-start fallbacks for streamed-in users.
+        """
+        return getattr(self.system, "scenario", None)
+
     def communication_summary(self) -> CommunicationSummary:
         return CommunicationSummary.from_ledger(self.ledger)
 
@@ -182,6 +191,7 @@ class _ParameterTransmissionTrainer(TrainerAdapter):
             seed=spec.seed,
             engine=spec.engine,
             backend=spec.backend,
+            scenario=spec.scenario,
         )
         return self.system_cls(self.dataset, config)
 

@@ -19,7 +19,7 @@ legs for the communication ledger.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -36,6 +36,8 @@ from repro.federated.communication import CommunicationLedger
 from repro.models.base import Recommender
 from repro.nn.losses import PointwiseBCELoss
 from repro.optim import SGD
+from repro.scenario import RoundParticipation, ScenarioEngine
+from repro.scenario.spec import ScenarioSpec
 from repro.utils.rng import RngFactory
 
 
@@ -48,6 +50,9 @@ class FederatedConfig:
     serial reference path.  ``backend`` names the tensor backend the
     driver's model and local updates compute under (worker processes
     re-activate it explicitly, so the policy survives spawn-based pools).
+    ``scenario`` injects dynamic-federation faults (churn, stragglers,
+    async aggregation, streaming arrivals — see
+    :class:`repro.scenario.ScenarioSpec`); ``None`` injects nothing.
     """
 
     rounds: int = 20
@@ -60,11 +65,19 @@ class FederatedConfig:
     seed: int = 0
     engine: Optional[EngineSpec] = None
     backend: Optional[str] = None
+    scenario: Optional[ScenarioSpec] = None
 
     def __post_init__(self) -> None:
         from repro.tensor.backend import resolve_backend_name
 
         self.backend = resolve_backend_name(self.backend)
+        if isinstance(self.scenario, Mapping):
+            self.scenario = ScenarioSpec(**dict(self.scenario))
+        if self.scenario is not None and not isinstance(self.scenario, ScenarioSpec):
+            raise ValueError(
+                f"scenario must be a ScenarioSpec, a mapping or None, "
+                f"got {type(self.scenario).__name__}"
+            )
         if self.rounds <= 0:
             raise ValueError(f"rounds must be positive, got {self.rounds}")
         if self.local_epochs <= 0:
@@ -168,6 +181,13 @@ class ParameterTransmissionFedRec:
             self.model = self._build_global_model()
         self._public_names = set(self._public_parameter_names())
         self.engine = create_scheduler(self.config.engine)
+        self.scenario = ScenarioEngine(
+            self.config.scenario, self._rngs, dataset.users, dataset.num_items
+        )
+        # Buffered late payloads (async aggregation): each entry carries the
+        # summed deltas of one round's stale cohort plus the round they fold
+        # into; serialized with the checkpoint so resume replays them.
+        self._stale_buffer: List[Dict[str, object]] = []
         self.rounds_completed = 0
 
     # ------------------------------------------------------------------
@@ -239,7 +259,14 @@ class ParameterTransmissionFedRec:
         with an item contributes nothing to that item's embedding, which is
         the standard practice in FedRec systems (only interacting users
         hold gradients for an item).
+
+        With a scenario configured, the round instead runs the
+        dynamic-participation path (:meth:`_run_round_scenario`): churned
+        clients are skipped, stragglers' payloads are discarded or buffered,
+        and aggregation renormalizes over what actually arrived.
         """
+        if self.scenario.enabled:
+            return self._run_round_scenario(round_index)
         selected = self._select_clients(round_index)
         global_state = self._public_state()
         download_bytes = self._download_bytes()
@@ -248,10 +275,15 @@ class ParameterTransmissionFedRec:
         losses, delta_sum, update_count = self.engine.train_fedavg_clients(
             self, selected, round_index, global_state
         )
-        client_losses: List[float] = [losses[user] for user in selected]
+        failed = set(self.engine.pop_failed())
+        client_losses: List[float] = [
+            losses[user] for user in selected if user not in failed
+        ]
         for user in selected:
             self.ledger.record(round_index, user, "download", download_bytes,
                                description=f"{self.name} public parameters")
+            if user in failed:
+                continue
             self.ledger.record(round_index, user, "upload", upload_bytes,
                                description=f"{self.name} public parameter update")
 
@@ -261,9 +293,115 @@ class ParameterTransmissionFedRec:
             new_state[name] = base + delta_sum[name] / count
         self._load_public_state(new_state)
         self.rounds_completed += 1
-        return {
+        logs = {
             "num_clients": len(selected),
             "client_loss": float(np.mean(client_losses)) if client_losses else 0.0,
+        }
+        if failed:
+            # Worker failures outside any scenario still surface as drops
+            # (extra keys appear only on failing rounds, so healthy runs
+            # keep their exact log schema).
+            logs.update(RoundParticipation(
+                selected=len(selected),
+                completed=len(selected) - len(failed),
+                dropped=len(failed),
+            ).as_logs())
+        return logs
+
+    def _run_round_scenario(self, round_index: int) -> Dict[str, float]:
+        """One round under fault injection (partial / async aggregation).
+
+        Training still runs through the configured engine, group by group:
+        the on-time cohort aggregates immediately with weight 1; async
+        stragglers train now but their summed deltas are buffered and
+        folded into round ``round_index + staleness`` with weight
+        ``staleness_alpha / (staleness + 1)``; sync (or over-stale)
+        stragglers train — the device did the work — but their payload is
+        discarded.  Weighted coordinate-wise averaging renormalizes by the
+        weighted update count, so partial cohorts never dilute the update.
+        """
+        plan = self.scenario.plan_round(self._select_clients(round_index), round_index)
+        global_state = self._public_state()
+        download_bytes = self._download_bytes()
+        upload_bytes = self._upload_bytes()
+
+        weighted_sum = {n: np.zeros_like(v) for n, v in global_state.items()}
+        weighted_count = {n: np.zeros_like(v) for n, v in global_state.items()}
+        losses: Dict[int, float] = {}
+        failed: List[int] = []
+
+        def train_group(users):
+            group_losses, dsum, dcount = self.engine.train_fedavg_clients(
+                self, list(users), round_index, global_state
+            )
+            failed.extend(self.engine.pop_failed())
+            losses.update(group_losses)
+            return dsum, dcount
+
+        if plan.on_time:
+            dsum, dcount = train_group(plan.on_time)
+            for name in weighted_sum:
+                weighted_sum[name] += dsum[name]
+                weighted_count[name] += dcount[name]
+        for staleness, users in plan.stale_groups():
+            dsum, dcount = train_group(users)
+            survivors = [user for user in users if user in losses]
+            if survivors:
+                self._stale_buffer.append({
+                    "due_round": round_index + staleness,
+                    "origin_round": round_index,
+                    "staleness": staleness,
+                    "users": survivors,
+                    "delta_sum": dsum,
+                    "update_count": dcount,
+                })
+        if plan.lost:
+            train_group(plan.lost)
+
+        # Fold in buffered payloads that are due this round, FIFO.
+        applied = 0
+        pending_buffer = []
+        for entry in self._stale_buffer:
+            if int(entry["due_round"]) > round_index:
+                pending_buffer.append(entry)
+                continue
+            weight = self.scenario.staleness_weight(int(entry["staleness"]))
+            for name in weighted_sum:
+                weighted_sum[name] += weight * entry["delta_sum"][name]
+                weighted_count[name] += weight * entry["update_count"][name]
+            applied += len(entry["users"])
+        self._stale_buffer = pending_buffer
+
+        failed_set = set(failed)
+        uploaded = ({user for user in plan.on_time} | set(plan.stale)) - failed_set
+        for user in plan.selected:
+            if user in plan.dropped:
+                continue
+            self.ledger.record(round_index, user, "download", download_bytes,
+                               description=f"{self.name} public parameters")
+            if user in uploaded:
+                self.ledger.record(round_index, user, "upload", upload_bytes,
+                                   description=f"{self.name} public parameter update")
+
+        new_state = {}
+        for name, base in global_state.items():
+            count = np.where(weighted_count[name] > 0.0, weighted_count[name], 1.0)
+            new_state[name] = base + weighted_sum[name] / count
+        self._load_public_state(new_state)
+        self.rounds_completed += 1
+
+        client_losses = [losses[user] for user in plan.trained if user in losses]
+        participation = RoundParticipation(
+            selected=len(plan.selected),
+            completed=len([u for u in plan.on_time if u not in failed_set]),
+            dropped=len(plan.dropped) + len(plan.lost) + len(failed),
+            straggled=len(plan.stale) + len(plan.lost),
+            stale_applied=applied,
+        )
+        return {
+            "num_clients": len(plan.selected),
+            "client_loss": float(np.mean(client_losses)) if client_losses else 0.0,
+            **participation.as_logs(),
         }
 
     def fit(
@@ -301,12 +439,25 @@ class ParameterTransmissionFedRec:
 
         The per-client local optimizer is SGD built fresh every round, so
         the model tables and the round counter are the whole training
-        state of a FedAvg-style baseline.
+        state of a FedAvg-style baseline.  Async-scenario runs additionally
+        carry the buffered stale payloads, so a resumed run folds them into
+        exactly the rounds an uninterrupted run would have.
         """
         return {
             "rounds_completed": int(self.rounds_completed),
             "model": self.model.state_dict(),
             "ledger": self.ledger.state_dict(),
+            "stale_buffer": [
+                {
+                    "due_round": int(entry["due_round"]),
+                    "origin_round": int(entry["origin_round"]),
+                    "staleness": int(entry["staleness"]),
+                    "users": [int(user) for user in entry["users"]],
+                    "delta_sum": dict(entry["delta_sum"]),
+                    "update_count": dict(entry["update_count"]),
+                }
+                for entry in self._stale_buffer
+            ],
         }
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
@@ -315,6 +466,23 @@ class ParameterTransmissionFedRec:
         self.model.load_state_dict(state["model"])
         self.ledger.load_state_dict(state["ledger"])
         self.rounds_completed = int(state["rounds_completed"])
+        self._stale_buffer = [
+            {
+                "due_round": int(entry["due_round"]),
+                "origin_round": int(entry["origin_round"]),
+                "staleness": int(entry["staleness"]),
+                "users": [int(user) for user in entry["users"]],
+                "delta_sum": {
+                    name: np.asarray(value)
+                    for name, value in entry["delta_sum"].items()
+                },
+                "update_count": {
+                    name: np.asarray(value)
+                    for name, value in entry["update_count"].items()
+                },
+            }
+            for entry in state.get("stale_buffer", [])
+        ]
 
     # ------------------------------------------------------------------
     # Evaluation

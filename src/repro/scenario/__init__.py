@@ -1,0 +1,24 @@
+"""Deterministic dynamic-federation fault injection.
+
+See :mod:`repro.scenario.spec` for the configuration surface,
+:mod:`repro.scenario.engine` for event planning, and
+:mod:`repro.scenario.telemetry` for participation accounting.
+"""
+
+from repro.scenario.engine import RoundPlan, ScenarioEngine
+from repro.scenario.spec import AGGREGATION_MODES, ScenarioSpec
+from repro.scenario.telemetry import (
+    PARTICIPATION_KEYS,
+    ParticipationSummary,
+    RoundParticipation,
+)
+
+__all__ = [
+    "AGGREGATION_MODES",
+    "PARTICIPATION_KEYS",
+    "ParticipationSummary",
+    "RoundParticipation",
+    "RoundPlan",
+    "ScenarioEngine",
+    "ScenarioSpec",
+]

@@ -38,6 +38,11 @@ class Recommender:
     hot users cost one ``argpartition`` per query instead of a model pass.
     The facade treats the model as an immutable snapshot — call
     :meth:`clear_cache` if the underlying model is trained further.
+
+    ``item_mask`` (boolean, catalogue-length) restricts the servable
+    catalogue: masked-out items are never recommended, for any user.
+    Dynamic-federation runs pass the set of items that had streamed in by
+    the last trained round (see :meth:`from_trainer`).
     """
 
     def __init__(
@@ -46,9 +51,18 @@ class Recommender:
         seen_items: Optional[Mapping[int, np.ndarray]] = None,
         popularity: Optional[np.ndarray] = None,
         cache_size: int = 256,
+        item_mask: Optional[np.ndarray] = None,
     ):
         if cache_size < 0:
             raise ValueError(f"cache_size must be non-negative, got {cache_size}")
+        if item_mask is not None:
+            item_mask = np.asarray(item_mask, dtype=bool)
+            if item_mask.shape != (int(model.num_items),):
+                raise ValueError(
+                    f"item_mask must have shape ({model.num_items},), "
+                    f"got {item_mask.shape}"
+                )
+        self._item_mask = item_mask
         self.model = model
         self.num_items = int(model.num_items)
         self._seen: Dict[int, np.ndarray] = {
@@ -99,12 +113,33 @@ class Recommender:
         dataset: InteractionDataset,
         cache_size: int = 256,
     ) -> "Recommender":
-        """Build the service from a (trained) trainer adapter in memory."""
+        """Build the service from a (trained) trainer adapter in memory.
+
+        Dynamic-federation runs are handled automatically: users that had
+        not streamed into the federation by the last trained round are
+        served from the popularity fallback (they become warm the moment a
+        later round trains past their arrival), and items that had not
+        arrived are excluded from every recommendation list.
+        """
+        seen_items = {user: dataset.train_items(user) for user in dataset.users}
+        item_mask = None
+        engine = getattr(trainer, "scenario_engine", lambda: None)()
+        if engine is not None and engine.enabled:
+            horizon = trainer.rounds_completed() - 1
+            arrived = engine.arrived_user_set(horizon)
+            # Unarrived users are unknown to the service — dropping them
+            # from seen_items routes them to the cold-start fallback, so a
+            # user is servable the round it appears.
+            seen_items = {
+                user: items for user, items in seen_items.items() if user in arrived
+            }
+            item_mask = engine.arrived_item_mask(horizon)
         return cls(
             model=trainer.serving_model(),
-            seen_items={user: dataset.train_items(user) for user in dataset.users},
+            seen_items=seen_items,
             popularity=dataset.item_popularity(),
             cache_size=cache_size,
+            item_mask=item_mask,
         )
 
     # ------------------------------------------------------------------
@@ -206,6 +241,8 @@ class Recommender:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         scores = self.scores(users).copy()
+        if self._item_mask is not None:
+            scores[:, ~self._item_mask] = -np.inf
         if exclude_seen:
             seen_rows = [
                 self._seen.get(int(user), _EMPTY_ITEMS) for user in users
