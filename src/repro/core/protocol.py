@@ -71,6 +71,10 @@ class PTFFedRec:
     defaults).  The spec's ``engine`` section chooses how the per-round
     client work is executed (serial reference loop, vectorized batches, or
     worker processes); all schedulers are bit-identical on a fixed seed.
+    ``engine.shard_size`` additionally streams the cohort (training and
+    the dispersal fan-out) through bounded shards; ``engine.payload`` is a
+    no-op here — the protocol's whole point is that its exchange
+    (prediction triples) is already sparse.
     """
 
     name = "PTF-FedRec"
@@ -164,18 +168,25 @@ class PTFFedRec:
 
         server_loss = self.server.train_on_uploads(uploads, round_index)
 
+        # Stream the dispersal fan-out shard by shard: dispersal
+        # construction reads only server state, so applying one shard
+        # before building the next bounds the in-flight dispersal buffer
+        # at O(shard_size) without changing a single record.
         dispersed_total = 0
-        dispersals = self.engine.build_ptf_dispersals(self.server, uploads, round_index)
-        for dispersal in dispersals:
-            self.clients[dispersal.user_id].receive_dispersal(dispersal.items, dispersal.scores)
-            dispersed_total += dispersal.num_records
-            self.ledger.record(
-                round_index,
-                dispersal.user_id,
-                "download",
-                prediction_triple_bytes(dispersal.num_records),
-                description="server dispersed predictions",
+        for upload_shard in self.engine.iter_shards(uploads):
+            dispersals = self.engine.build_ptf_dispersals(
+                self.server, upload_shard, round_index
             )
+            for dispersal in dispersals:
+                self.clients[dispersal.user_id].receive_dispersal(dispersal.items, dispersal.scores)
+                dispersed_total += dispersal.num_records
+                self.ledger.record(
+                    round_index,
+                    dispersal.user_id,
+                    "download",
+                    prediction_triple_bytes(dispersal.num_records),
+                    description="server dispersed predictions",
+                )
 
         summary = RoundSummary(
             round_index=round_index,
@@ -260,19 +271,20 @@ class PTFFedRec:
 
         dispersed_total = 0
         item_mask = self.scenario.arrived_item_mask(round_index)
-        dispersals = self.engine.build_ptf_dispersals(
-            self.server, pool, round_index, item_mask=item_mask
-        )
-        for dispersal in dispersals:
-            self.clients[dispersal.user_id].receive_dispersal(dispersal.items, dispersal.scores)
-            dispersed_total += dispersal.num_records
-            self.ledger.record(
-                round_index,
-                dispersal.user_id,
-                "download",
-                prediction_triple_bytes(dispersal.num_records),
-                description="server dispersed predictions",
+        for upload_shard in self.engine.iter_shards(pool):
+            dispersals = self.engine.build_ptf_dispersals(
+                self.server, upload_shard, round_index, item_mask=item_mask
             )
+            for dispersal in dispersals:
+                self.clients[dispersal.user_id].receive_dispersal(dispersal.items, dispersal.scores)
+                dispersed_total += dispersal.num_records
+                self.ledger.record(
+                    round_index,
+                    dispersal.user_id,
+                    "download",
+                    prediction_triple_bytes(dispersal.num_records),
+                    description="server dispersed predictions",
+                )
 
         summary = RoundSummary(
             round_index=round_index,

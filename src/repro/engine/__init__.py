@@ -18,7 +18,12 @@ executed:
 All schedulers are **bit-identical** on a fixed seed: randomness is keyed
 by ``(seed, component, client, round)``, and the batched path replays the
 serial arithmetic exactly (see :mod:`repro.engine.batch`).  Selecting an
-execution strategy is therefore a pure performance choice:
+execution strategy is therefore a pure performance choice.  Two further
+spec knobs bound a round's memory without changing results:
+``shard_size`` streams the cohort through contiguous shards, and
+``payload="sparse"`` exchanges rows-touched
+:class:`~repro.tensor.sparse.SparseDelta` payloads for the FedAvg-style
+baselines (see ``docs/scaling.md``).  For example:
 
 >>> from repro.engine import EngineSpec, create_scheduler
 >>> create_scheduler(EngineSpec(scheduler="batched")).name
@@ -47,7 +52,7 @@ from repro.engine.schedulers import (
     Scheduler,
     create_scheduler,
 )
-from repro.engine.spec import SCHEDULER_MODES, EngineSpec
+from repro.engine.spec import PAYLOAD_FORMATS, SCHEDULER_MODES, EngineSpec
 
 __all__ = [
     "BatchedScheduler",
@@ -55,6 +60,7 @@ __all__ = [
     "ClientTrainingPlan",
     "EngineSpec",
     "MultiprocessScheduler",
+    "PAYLOAD_FORMATS",
     "SCHEDULER_MODES",
     "Scheduler",
     "StackedAdam",

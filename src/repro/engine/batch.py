@@ -91,6 +91,19 @@ class ClientTrainingPlan:
     def num_batches(self) -> int:
         return sum(len(epoch) for epoch in self.epochs)
 
+    def touched_items(self) -> np.ndarray:
+        """Sorted unique item ids across every batch of the plan.
+
+        The sparse payload path uses this as the rows-touched set of the
+        client's item-table delta: rows outside it receive exactly zero
+        gradient during local training, so their delta is bitwise ``+0.0``
+        and may be skipped without changing any aggregate.
+        """
+        arrays = [items for epoch in self.epochs for items, _ in epoch]
+        if not arrays:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(arrays)).astype(np.int64, copy=False)
+
 
 # ----------------------------------------------------------------------
 # Stacked building blocks

@@ -12,13 +12,38 @@ Every scheduler is bit-identical to the serial reference on a fixed seed:
 client randomness is keyed by ``(seed, component, client, round)`` — never
 by execution order — and the stacked path replays the exact serial
 arithmetic (see :mod:`repro.engine.batch`).
+
+Two :class:`~repro.engine.spec.EngineSpec` knobs bound a round's memory so
+cohorts of 10k–1M clients stream through a fixed envelope:
+
+``shard_size``
+    Every scheduler processes the cohort in contiguous shards
+    (:meth:`Scheduler.iter_shards`): plans, stacked state, worker payloads
+    and per-client deltas are materialized for at most one shard at a
+    time.  Shards are processed — and aggregated — in cohort order, so the
+    additions performed are exactly those of the unsharded round.
+
+``payload="sparse"``
+    The FedAvg baselines exchange rows-touched
+    :class:`~repro.tensor.sparse.SparseDelta` payloads instead of full
+    public tables.  Bit-identical by IEEE-754 arithmetic: a row outside a
+    client's touched set receives exactly zero gradient, so its delta is
+    ``+0.0`` and skipping its accumulation changes no aggregate.  The
+    sparse multiprocess path additionally maps the global item tables into
+    shared memory (:meth:`repro.tensor.backend.Backend.create_shared_store`)
+    so workers attach one physical copy instead of unpickling their own.
+
+Per-client touched-row statistics flow back to the drivers through the
+:meth:`Scheduler.pop_touched` side-channel so the communication ledger can
+meter sparse uploads faithfully.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+import pickle
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,11 +54,16 @@ from repro.engine.batch import (
     stack_models,
 )
 from repro.engine.spec import EngineSpec
-from repro.tensor.backend import use_backend
+from repro.tensor.backend import get_backend, use_backend
+from repro.tensor.sparse import SparseDelta
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.client import ClientUpload, PTFClient
     from repro.core.server import DispersedDataset, PTFServer
+
+#: user -> parameter name -> (rows shipped, values per row); what the
+#: drivers meter sparse uploads from.
+TouchedStats = Dict[int, Dict[str, Tuple[int, int]]]
 
 
 def create_scheduler(spec: Optional[EngineSpec] = None) -> "Scheduler":
@@ -65,6 +95,63 @@ def _group_plans(
     return groups
 
 
+def _payload_format(driver) -> str:
+    """The parameter-exchange format a FedAvg driver is configured for."""
+    return getattr(driver, "payload_format", "dense")
+
+
+def _row_width(array: np.ndarray) -> int:
+    """Values per axis-0 row (1 for vector parameters)."""
+    return int(np.prod(array.shape[1:], dtype=np.int64)) if array.ndim > 1 else 1
+
+
+def _zero_touched(global_state: Dict[str, np.ndarray]) -> Dict[str, Tuple[int, int]]:
+    """Touched stats of a client that trained nothing (uploads nothing)."""
+    return {name: (0, _row_width(value)) for name, value in global_state.items()}
+
+
+def _client_sparse_payloads(
+    named: Dict[str, object],
+    global_state: Dict[str, np.ndarray],
+    item_row_names: set,
+    touched: np.ndarray,
+) -> Dict[str, SparseDelta]:
+    """Encode one client's public-parameter update as sparse payloads.
+
+    Item-row tables are restricted to the client's plan-touched rows (a
+    superset of the rows its gradients could have changed); every other
+    public parameter ships as an all-rows dense block.
+    """
+    payloads: Dict[str, SparseDelta] = {}
+    for name, base in global_state.items():
+        data = named[name].data
+        if name in item_row_names:
+            payloads[name] = SparseDelta.between(data, base, rows=touched)
+        else:
+            payloads[name] = SparseDelta.dense_block(data - base)
+    return payloads
+
+
+def _touched_stats(payloads: Dict[str, SparseDelta]) -> Dict[str, Tuple[int, int]]:
+    return {name: (p.num_rows, p.row_width) for name, p in payloads.items()}
+
+
+def _accumulate_sparse(
+    payloads: Dict[str, SparseDelta],
+    delta_sum: Dict[str, np.ndarray],
+    update_count: Dict[str, np.ndarray],
+) -> None:
+    """Fold one client's payloads into the round accumulators.
+
+    Performs, at the touched rows, the same elementwise additions the dense
+    path performs over the full table; the skipped rows would have added
+    exactly ``+0.0``.
+    """
+    for name in delta_sum:
+        payloads[name].add_into(delta_sum[name])
+        payloads[name].count_into(update_count[name])
+
+
 class Scheduler:
     """Serial reference scheduler: the original one-client-at-a-time loops."""
 
@@ -73,6 +160,7 @@ class Scheduler:
     def __init__(self, spec: Optional[EngineSpec] = None):
         self.spec = spec if spec is not None else EngineSpec()
         self._failed: List[int] = []
+        self._touched: TouchedStats = {}
 
     def pop_failed(self) -> List[int]:
         """Drain the clients that failed permanently in the last phase.
@@ -86,6 +174,35 @@ class Scheduler:
         """
         failed, self._failed = self._failed, []
         return failed
+
+    def pop_touched(self) -> TouchedStats:
+        """Drain the per-client touched-row statistics of the last phase.
+
+        Populated only by the sparse payload path (one entry per completed
+        client, mapping each public parameter to ``(num_rows, row_width)``
+        of the payload actually shipped); the dense path leaves it empty
+        and drivers fall back to full-table upload metering.  Like
+        :meth:`pop_failed`, draining is the caller's acknowledgement.
+        """
+        touched, self._touched = self._touched, {}
+        return touched
+
+    def iter_shards(self, cohort: Sequence) -> Iterator[List]:
+        """Yield ``cohort`` in contiguous shards of ``spec.shard_size``.
+
+        ``shard_size=0`` yields the whole cohort as one shard.  Shards
+        partition the cohort *in order*, so per-shard processing followed
+        by in-order aggregation performs exactly the additions of the
+        unsharded round — sharding is a memory bound, never a result
+        change.
+        """
+        cohort = list(cohort)
+        size = self.spec.shard_size
+        if size <= 0 or len(cohort) <= size:
+            yield cohort
+            return
+        for start in range(0, len(cohort), size):
+            yield cohort[start:start + size]
 
     # ------------------------------------------------------------------
     # PTF-FedRec client phase
@@ -123,6 +240,10 @@ class Scheduler:
 
         ``item_mask`` restricts the dispersal candidate pool (streaming
         item arrivals); ``None`` leaves the full catalogue available.
+        Dispersal construction reads only server state, so the protocol
+        driver may call this shard by shard (:meth:`iter_shards`) and
+        apply each shard before building the next — bounded memory,
+        identical records.
         """
         return [
             server.build_dispersal(upload, round_index, item_mask=item_mask)
@@ -143,8 +264,16 @@ class Scheduler:
 
         Returns ``(losses, delta_sum, update_count)`` where the aggregation
         arrays accumulate per-client public-parameter deltas in cohort
-        order, exactly as the pre-engine sequential loop did.
+        order, exactly as the pre-engine sequential loop did.  The serial
+        path streams one client at a time, so its memory is already
+        independent of cohort size; ``payload="sparse"`` additionally
+        shrinks the per-client delta from ``O(table)`` to
+        ``O(rows touched)`` and records touched stats for the ledger.
         """
+        if _payload_format(driver) == "sparse":
+            return self._train_fedavg_sparse(
+                driver, selected, round_index, global_state
+            )
         delta_sum = {name: np.zeros_like(value) for name, value in global_state.items()}
         update_count = {name: np.zeros_like(value) for name, value in global_state.items()}
         losses: Dict[int, float] = {}
@@ -158,6 +287,30 @@ class Scheduler:
                 update_count[name] += (delta != 0.0)
         return losses, delta_sum, update_count
 
+    def _train_fedavg_sparse(self, driver, selected, round_index, global_state):
+        """The serial sparse reference: rows-touched deltas, same bits."""
+        from repro.federated.base import run_local_plan
+
+        item_rows = set(driver._item_row_parameter_names())
+        named = dict(driver.model.named_parameters())
+        delta_sum = {name: np.zeros_like(value) for name, value in global_state.items()}
+        update_count = {name: np.zeros_like(value) for name, value in global_state.items()}
+        losses: Dict[int, float] = {}
+        for user in selected:
+            driver._load_public_state(global_state)
+            plan = driver.local_training_plan(user, round_index)
+            if plan is None:
+                losses[user] = 0.0
+                self._touched[user] = _zero_touched(global_state)
+                continue
+            losses[user] = run_local_plan(driver.model, driver.config, user, plan)
+            payloads = _client_sparse_payloads(
+                named, global_state, item_rows, plan.touched_items()
+            )
+            _accumulate_sparse(payloads, delta_sum, update_count)
+            self._touched[user] = _touched_stats(payloads)
+        return losses, delta_sum, update_count
+
 
 class BatchedScheduler(Scheduler):
     """Vectorized scheduler: stacks cohorts into :class:`ClientBatch` runs."""
@@ -167,29 +320,30 @@ class BatchedScheduler(Scheduler):
     # -- PTF ------------------------------------------------------------
     def train_ptf_clients(self, clients, selected, round_index):
         losses: Dict[int, float] = {}
-        pending: List[Tuple[int, ClientTrainingPlan]] = []
-        for user in selected:
-            plan = clients[user].training_plan(round_index)
-            if plan is None:
-                losses[user] = 0.0
-            else:
-                pending.append((user, plan))
-        for group in _group_plans(pending, self.spec.max_cohort):
-            members = [clients[user] for user, _ in group]
-            batch = ClientBatch.for_ptf_clients(members, [plan for _, plan in group])
-            if batch is None:
-                if self.spec.fallback == "error":
-                    raise NotImplementedError(
-                        f"no stacked implementation for "
-                        f"{type(members[0].model).__name__} client models"
-                    )
-                for user, _ in group:
-                    losses[user] = clients[user].local_train(round_index)
-                continue
-            group_losses = batch.run()
-            batch.writeback()
-            for (user, _), loss in zip(group, group_losses):
-                losses[user] = float(loss)
+        for shard in self.iter_shards(selected):
+            pending: List[Tuple[int, ClientTrainingPlan]] = []
+            for user in shard:
+                plan = clients[user].training_plan(round_index)
+                if plan is None:
+                    losses[user] = 0.0
+                else:
+                    pending.append((user, plan))
+            for group in _group_plans(pending, self.spec.max_cohort):
+                members = [clients[user] for user, _ in group]
+                batch = ClientBatch.for_ptf_clients(members, [plan for _, plan in group])
+                if batch is None:
+                    if self.spec.fallback == "error":
+                        raise NotImplementedError(
+                            f"no stacked implementation for "
+                            f"{type(members[0].model).__name__} client models"
+                        )
+                    for user, _ in group:
+                        losses[user] = clients[user].local_train(round_index)
+                    continue
+                group_losses = batch.run()
+                batch.writeback()
+                for (user, _), loss in zip(group, group_losses):
+                    losses[user] = float(loss)
         return losses
 
     # -- FedAvg baselines ------------------------------------------------
@@ -203,77 +357,115 @@ class BatchedScheduler(Scheduler):
             return super().train_fedavg_clients(
                 driver, selected, round_index, global_state
             )
+        sparse = _payload_format(driver) == "sparse"
+        item_rows = set(driver._item_row_parameter_names()) if sparse else set()
 
         # Honor the global_state argument (don't rely on driver.model already
         # carrying it): every client must start from these public values.
         from repro.federated.base import load_public_state
 
         load_public_state(model, public_names, global_state)
+        named = dict(model.named_parameters())
 
-        pending: List[Tuple[int, ClientTrainingPlan]] = []
         losses: Dict[int, float] = {}
-        for user in selected:
-            plan = driver.local_training_plan(user, round_index)
-            if plan is None:
-                losses[user] = 0.0
-            else:
-                pending.append((user, plan))
-
-        deltas: Dict[int, Dict[str, np.ndarray]] = {}
-        for group in _group_plans(pending, self.spec.max_cohort):
-            users = [user for user, _ in group]
-            stacked = stack_models([model] * len(users), user_rows=users)
-            if stacked is None:
-                if self.spec.fallback == "error":
-                    raise NotImplementedError(
-                        f"no stacked implementation for {type(model).__name__}"
-                    )
-                return super().train_fedavg_clients(
-                    driver, selected, round_index, global_state
-                )
-            optimizer = StackedSGD(
-                stacked.parameters(), lr=driver.config.local_learning_rate
-            )
-            batch = ClientBatch(stacked, optimizer, [plan for _, plan in group])
-            group_losses = batch.run()
-            named = dict(model.named_parameters())
-            for c, user in enumerate(users):
-                losses[user] = float(group_losses[c])
-                values = stacked.export_slice(c)
-                deltas[user] = {
-                    name: values[name] - global_state[name] for name in public_names
-                }
-                # Each client touches only its own user row, so writing the
-                # trained rows back into the shared model reproduces the
-                # serial sequential updates exactly (rows are disjoint).
-                for name, _, kind in stacked.entries:
-                    if name in public_names:
-                        continue
-                    assert kind == "rows"
-                    named[name].data[user] = values[name][0]
-            for attr, embedding in stacked.embeddings.items():
-                table = getattr(model, attr)
-                name = f"{attr}.weight"
-                kind = next(k for n, _, k in stacked.entries if n == name)
-                if kind == "rows":
-                    for c, user in enumerate(users):
-                        table.update_counts[user] += embedding.count_increments[c, 0]
-                else:
-                    table.update_counts += embedding.count_increments.sum(axis=0)
-            model.train()
-
-        # Aggregate public deltas in cohort order (float addition is not
-        # associative; the serial loop's order is the reference).
         delta_sum = {name: np.zeros_like(value) for name, value in global_state.items()}
         update_count = {name: np.zeros_like(value) for name, value in global_state.items()}
-        for user in selected:
-            user_deltas = deltas.get(user)
-            if user_deltas is None:
-                continue  # zero-interaction client: exact zero contribution
-            for name in delta_sum:
-                delta = user_deltas[name]
-                delta_sum[name] += delta
-                update_count[name] += (delta != 0.0)
+
+        for shard in self.iter_shards(selected):
+            pending: List[Tuple[int, ClientTrainingPlan]] = []
+            for user in shard:
+                plan = driver.local_training_plan(user, round_index)
+                if plan is None:
+                    losses[user] = 0.0
+                    if sparse:
+                        self._touched[user] = _zero_touched(global_state)
+                else:
+                    pending.append((user, plan))
+
+            # Per-client payloads live only for the duration of the shard:
+            # full-table dicts on the dense path, rows-touched SparseDeltas
+            # on the sparse path — either way bounded by shard size.
+            shard_deltas: Dict[int, dict] = {}
+            for group in _group_plans(pending, self.spec.max_cohort):
+                users = [user for user, _ in group]
+                stacked = stack_models([model] * len(users), user_rows=users)
+                if stacked is None:
+                    if self.spec.fallback == "error":
+                        raise NotImplementedError(
+                            f"no stacked implementation for {type(model).__name__}"
+                        )
+                    return super().train_fedavg_clients(
+                        driver, selected, round_index, global_state
+                    )
+                optimizer = StackedSGD(
+                    stacked.parameters(), lr=driver.config.local_learning_rate
+                )
+                batch = ClientBatch(stacked, optimizer, [plan for _, plan in group])
+                group_losses = batch.run()
+                for c, (user, plan) in enumerate(group):
+                    losses[user] = float(group_losses[c])
+                    if sparse:
+                        payloads: Dict[str, SparseDelta] = {}
+                        touched = plan.touched_items()
+                        for name, parameter, kind in stacked.entries:
+                            values = (
+                                parameter.data[c, 0] if kind == "bias"
+                                else parameter.data[c]
+                            )
+                            if name not in public_names:
+                                # Each client touches only its own user row,
+                                # so writing the trained rows back into the
+                                # shared model reproduces the serial
+                                # sequential updates exactly (disjoint rows).
+                                assert kind == "rows"
+                                named[name].data[user] = values[0]
+                                continue
+                            if name in item_rows:
+                                payloads[name] = SparseDelta.between(
+                                    values, global_state[name], rows=touched
+                                )
+                            else:
+                                payloads[name] = SparseDelta.dense_block(
+                                    values - global_state[name]
+                                )
+                        shard_deltas[user] = payloads
+                        self._touched[user] = _touched_stats(payloads)
+                    else:
+                        values = stacked.export_slice(c)
+                        shard_deltas[user] = {
+                            name: values[name] - global_state[name]
+                            for name in public_names
+                        }
+                        for name, _, kind in stacked.entries:
+                            if name in public_names:
+                                continue
+                            assert kind == "rows"
+                            named[name].data[user] = values[name][0]
+                for attr, embedding in stacked.embeddings.items():
+                    table = getattr(model, attr)
+                    name = f"{attr}.weight"
+                    kind = next(k for n, _, k in stacked.entries if n == name)
+                    if kind == "rows":
+                        for c, user in enumerate(users):
+                            table.update_counts[user] += embedding.count_increments[c, 0]
+                    else:
+                        table.update_counts += embedding.count_increments.sum(axis=0)
+                model.train()
+
+            # Aggregate the shard's public deltas in cohort order (float
+            # addition is not associative; the serial loop's order is the
+            # reference, and contiguous shards preserve it globally).
+            for user in shard:
+                user_deltas = shard_deltas.get(user)
+                if user_deltas is None:
+                    continue  # zero-interaction client: exact zero contribution
+                if sparse:
+                    _accumulate_sparse(user_deltas, delta_sum, update_count)
+                else:
+                    for name in delta_sum:
+                        delta = user_deltas[name]
+                        delta_sum[name] += delta
+                        update_count[name] += (delta != 0.0)
         return losses, delta_sum, update_count
 
 
@@ -366,6 +558,74 @@ def _fedavg_worker(payload):
     return results, count_increments
 
 
+def _fedavg_worker_sparse(payload):
+    (skeleton, handles, inline_state, config, seed, public_names,
+     private_specs, item_row_names, private_rows, users, positives,
+     num_items, round_index) = payload
+    from repro.federated.base import build_local_plan, load_public_state, run_local_plan
+    from repro.utils.rng import RngFactory
+
+    model = pickle.loads(skeleton)
+    named = dict(model.named_parameters())
+    views = {name: handle.open() for name, handle in handles.items()}
+    try:
+        # The global public tables arrive once, via shared memory (or
+        # inline when the platform has none); the skeleton shipped them as
+        # empty placeholders and load_public_state below re-materializes
+        # each client's working copy from the shared view.
+        global_state = dict(inline_state)
+        global_state.update(views)
+        for name, (shape, dtype) in private_specs.items():
+            # np.zeros is calloc-backed: pages for users outside this
+            # chunk are never touched, so the full-shape private table
+            # costs only the chunk's own rows in resident memory.
+            table = np.zeros(shape, dtype=np.dtype(dtype))
+            for user, row in private_rows[name].items():
+                table[user] = row
+            named[name].data = table
+        rngs = RngFactory(seed)
+        initial_counts = {
+            attr: table.update_counts.copy() for attr, table in _embedding_tables(model)
+        }
+        results = []
+        with use_backend(getattr(config, "backend", None)):
+            for user in users:
+                load_public_state(model, public_names, global_state)
+                counts_before = {
+                    attr: table.update_counts.copy()
+                    for attr, table in _embedding_tables(model)
+                }
+                try:
+                    plan = build_local_plan(
+                        config, rngs, user, positives[user], num_items, round_index
+                    )
+                    loss = (
+                        run_local_plan(model, config, user, plan)
+                        if plan is not None else 0.0
+                    )
+                except Exception:
+                    for attr, table in _embedding_tables(model):
+                        table.update_counts[...] = counts_before[attr]
+                    results.append((user, None, None, None, None))
+                    continue
+                if plan is None:
+                    results.append((user, 0.0, None, None, None))
+                    continue
+                payloads = _client_sparse_payloads(
+                    named, global_state, item_row_names, plan.touched_items()
+                )
+                rows = {name: named[name].data[user].copy() for name in private_specs}
+                results.append((user, loss, payloads, rows, _touched_stats(payloads)))
+        count_increments = {
+            attr: table.update_counts - initial_counts[attr]
+            for attr, table in _embedding_tables(model)
+        }
+        return results, count_increments
+    finally:
+        for handle in handles.values():
+            handle.close()
+
+
 def _embedding_tables(model):
     """Yield ``(attribute, Embedding)`` pairs of a model (duck-typed)."""
     for attr, module in model._modules.items():
@@ -396,32 +656,39 @@ class MultiprocessScheduler(Scheduler):
         )
         return context.Pool(workers)
 
+    def _shard_chunks(self, shard: Sequence[int], workers: int) -> List[List[int]]:
+        return [
+            [int(user) for user in chunk]
+            for chunk in np.array_split(list(shard), min(workers, len(shard)))
+            if len(chunk)
+        ]
+
     def train_ptf_clients(self, clients, selected, round_index):
         workers = self._worker_count(len(selected))
         if workers <= 1:
             return super().train_ptf_clients(clients, selected, round_index)
-        chunks = [list(chunk) for chunk in np.array_split(list(selected), workers)
-                  if len(chunk)]
-        payloads = [
-            ([clients[int(user)] for user in chunk], round_index) for chunk in chunks
-        ]
-        with self._pool(len(payloads)) as pool:
-            chunk_results = pool.map(_ptf_worker, payloads)
         losses: Dict[int, float] = {}
-        for chunk_result in chunk_results:
-            for user, trained_client, loss in chunk_result:
-                if trained_client is None:
-                    # Worker failure: retry once on the driver from the
-                    # parent's own (untrained) client copy; if the retry
-                    # fails too, report the client as dropped rather than
-                    # aborting the round.
-                    try:
-                        losses[user] = clients[user].local_train(round_index)
-                    except Exception:
-                        self._failed.append(int(user))
-                    continue
-                clients[user] = trained_client
-                losses[user] = loss
+        for shard in self.iter_shards(selected):
+            chunks = self._shard_chunks(shard, workers)
+            payloads = [
+                ([clients[user] for user in chunk], round_index) for chunk in chunks
+            ]
+            with self._pool(len(payloads)) as pool:
+                chunk_results = pool.map(_ptf_worker, payloads)
+            for chunk_result in chunk_results:
+                for user, trained_client, loss in chunk_result:
+                    if trained_client is None:
+                        # Worker failure: retry once on the driver from the
+                        # parent's own (untrained) client copy; if the retry
+                        # fails too, report the client as dropped rather than
+                        # aborting the round.
+                        try:
+                            losses[user] = clients[user].local_train(round_index)
+                        except Exception:
+                            self._failed.append(int(user))
+                        continue
+                    clients[user] = trained_client
+                    losses[user] = loss
         return losses
 
     def train_fedavg_clients(self, driver, selected, round_index, global_state):
@@ -435,27 +702,13 @@ class MultiprocessScheduler(Scheduler):
             return super().train_fedavg_clients(
                 driver, selected, round_index, global_state
             )
+        if _payload_format(driver) == "sparse":
+            return self._train_fedavg_sparse_mp(
+                driver, selected, round_index, global_state, private_names, workers
+            )
         # Ship global_state inside the model itself (workers reconstruct it
         # from the public parameters) instead of pickling the tables twice.
         load_public_state(driver.model, driver._public_names, global_state)
-        chunks = [list(chunk) for chunk in np.array_split(list(selected), workers)
-                  if len(chunk)]
-        payloads = []
-        for chunk in chunks:
-            users = [int(user) for user in chunk]
-            payloads.append((
-                driver.model,
-                driver.config,
-                driver._rngs.seed,
-                set(driver._public_names),
-                list(private_names),
-                users,
-                {user: driver.dataset.train_items(user) for user in users},
-                driver.dataset.num_items,
-                round_index,
-            ))
-        with self._pool(len(payloads)) as pool:
-            chunk_results = pool.map(_fedavg_worker, payloads)
 
         named = dict(driver.model.named_parameters())
         tables = dict(_embedding_tables(driver.model))
@@ -463,20 +716,36 @@ class MultiprocessScheduler(Scheduler):
         update_count = {name: np.zeros_like(value) for name, value in global_state.items()}
         losses: Dict[int, float] = {}
         retry: List[int] = []
-        for chunk_result, count_increments in chunk_results:
-            for user, loss, deltas, rows in chunk_result:
-                if loss is None:
-                    retry.append(int(user))
-                    continue
-                losses[user] = loss
-                for name in delta_sum:
-                    delta = deltas[name]
-                    delta_sum[name] += delta
-                    update_count[name] += (delta != 0.0)
-                for name, row in rows.items():
-                    named[name].data[user] = row
-            for attr, increments in count_increments.items():
-                tables[attr].update_counts += increments
+        for shard in self.iter_shards(selected):
+            payloads = []
+            for users in self._shard_chunks(shard, workers):
+                payloads.append((
+                    driver.model,
+                    driver.config,
+                    driver._rngs.seed,
+                    set(driver._public_names),
+                    list(private_names),
+                    users,
+                    {user: driver.dataset.train_items(user) for user in users},
+                    driver.dataset.num_items,
+                    round_index,
+                ))
+            with self._pool(len(payloads)) as pool:
+                chunk_results = pool.map(_fedavg_worker, payloads)
+            for chunk_result, count_increments in chunk_results:
+                for user, loss, deltas, rows in chunk_result:
+                    if loss is None:
+                        retry.append(int(user))
+                        continue
+                    losses[user] = loss
+                    for name in delta_sum:
+                        delta = deltas[name]
+                        delta_sum[name] += delta
+                        update_count[name] += (delta != 0.0)
+                    for name, row in rows.items():
+                        named[name].data[user] = row
+                for attr, increments in count_increments.items():
+                    tables[attr].update_counts += increments
         # Retry worker failures once on the driver (after the healthy
         # results, so their aggregation order is untouched); a client whose
         # retry also fails is reported as dropped via pop_failed, with its
@@ -500,4 +769,128 @@ class MultiprocessScheduler(Scheduler):
                 delta_sum[name] += delta
                 update_count[name] += (delta != 0.0)
         driver.model.train()
+        return losses, delta_sum, update_count
+
+    def _train_fedavg_sparse_mp(
+        self, driver, selected, round_index, global_state, private_names, workers
+    ):
+        """Sparse exchange over workers: shared tables, rows-touched returns.
+
+        The global item tables are mapped into shared memory once (the
+        :meth:`~repro.tensor.backend.Backend.create_shared_store` seam,
+        with inline pickling as the fallback) and the model ships as a
+        skeleton with the big tables stripped; each worker rebuilds only
+        its own chunk's private rows.  Workers return
+        :class:`~repro.tensor.sparse.SparseDelta` payloads, which the
+        parent folds in per client, in cohort order — the same additions
+        the dense parent performs, minus exact-zero rows.
+        """
+        from repro.federated.base import load_public_state, run_local_plan
+
+        model = driver.model
+        public_names = driver._public_names
+        item_rows = set(driver._item_row_parameter_names())
+        load_public_state(model, public_names, global_state)
+        named = dict(model.named_parameters())
+        tables = dict(_embedding_tables(model))
+
+        backend = get_backend(getattr(driver.config, "backend", None))
+        share = {name: global_state[name] for name in public_names if name in item_rows}
+        store = backend.create_shared_store(share) if share else None
+        handles = dict(store.handles) if store is not None else {}
+        inline_state = {
+            name: value for name, value in global_state.items() if name not in handles
+        }
+        private_specs = {
+            name: (named[name].data.shape, named[name].data.dtype.str)
+            for name in private_names
+        }
+        # Pickle the model once with the big tables stripped: workers
+        # restore the public tables from the shared store and rebuild the
+        # private tables from their own chunk's rows.
+        strip = set(handles) | set(private_names)
+        saved = {name: named[name].data for name in strip}
+        for name in strip:
+            named[name].data = np.empty((0,), dtype=saved[name].dtype)
+        try:
+            skeleton = pickle.dumps(model)
+        finally:
+            for name, data in saved.items():
+                named[name].data = data
+
+        delta_sum = {name: np.zeros_like(value) for name, value in global_state.items()}
+        update_count = {name: np.zeros_like(value) for name, value in global_state.items()}
+        losses: Dict[int, float] = {}
+        retry: List[int] = []
+        try:
+            for shard in self.iter_shards(selected):
+                payloads = []
+                for users in self._shard_chunks(shard, workers):
+                    payloads.append((
+                        skeleton,
+                        handles,
+                        inline_state,
+                        driver.config,
+                        driver._rngs.seed,
+                        set(public_names),
+                        private_specs,
+                        item_rows,
+                        {
+                            name: {user: named[name].data[user].copy() for user in users}
+                            for name in private_names
+                        },
+                        users,
+                        {user: driver.dataset.train_items(user) for user in users},
+                        driver.dataset.num_items,
+                        round_index,
+                    ))
+                with self._pool(len(payloads)) as pool:
+                    chunk_results = pool.map(_fedavg_worker_sparse, payloads)
+                for chunk_result, count_increments in chunk_results:
+                    for user, loss, client_payloads, rows, stats in chunk_result:
+                        if loss is None:
+                            retry.append(int(user))
+                            continue
+                        losses[user] = loss
+                        if client_payloads is None:
+                            self._touched[user] = _zero_touched(global_state)
+                            continue
+                        _accumulate_sparse(client_payloads, delta_sum, update_count)
+                        for name, row in rows.items():
+                            named[name].data[user] = row
+                        self._touched[user] = stats
+                    for attr, increments in count_increments.items():
+                        tables[attr].update_counts += increments
+        finally:
+            if store is not None:
+                store.close()
+        # Retries mirror the dense path: once on the driver, after the
+        # healthy cohort, dropped via pop_failed if they fail again.
+        for user in retry:
+            rows_before = {name: named[name].data[user].copy() for name in private_names}
+            counts_before = {attr: table.update_counts.copy() for attr, table in tables.items()}
+            driver._load_public_state(global_state)
+            try:
+                plan = driver.local_training_plan(user, round_index)
+                loss = (
+                    run_local_plan(model, driver.config, user, plan)
+                    if plan is not None else 0.0
+                )
+            except Exception:
+                for name, row in rows_before.items():
+                    named[name].data[user] = row
+                for attr, counts in counts_before.items():
+                    tables[attr].update_counts[...] = counts
+                self._failed.append(int(user))
+                continue
+            losses[user] = loss
+            if plan is None:
+                self._touched[user] = _zero_touched(global_state)
+                continue
+            client_payloads = _client_sparse_payloads(
+                named, global_state, item_rows, plan.touched_items()
+            )
+            _accumulate_sparse(client_payloads, delta_sum, update_count)
+            self._touched[user] = _touched_stats(client_payloads)
+        model.train()
         return losses, delta_sum, update_count

@@ -29,6 +29,13 @@ from typing import Tuple
 #: ``"multiprocess"`` fans clients out to worker processes.
 SCHEDULER_MODES: Tuple[str, ...] = ("serial", "batched", "multiprocess")
 
+#: The available parameter-exchange formats for the FedAvg-style baselines.
+#: ``"dense"`` ships and aggregates full public tables per client (the
+#: original protocol simulation); ``"sparse"`` exchanges rows-touched
+#: :class:`~repro.tensor.sparse.SparseDelta` payloads — bit-identical
+#: results, bounded per-client memory and faithful communication metering.
+PAYLOAD_FORMATS: Tuple[str, ...] = ("dense", "sparse")
+
 
 @dataclass
 class EngineSpec:
@@ -50,12 +57,28 @@ class EngineSpec:
         What the batched scheduler does with a client model it has no stacked
         implementation for: ``"serial"`` quietly trains those clients on the
         reference path, ``"error"`` raises.
+    ``payload``
+        One of :data:`PAYLOAD_FORMATS`.  ``"sparse"`` makes the FedAvg-style
+        drivers exchange rows-touched :class:`~repro.tensor.sparse.SparseDelta`
+        payloads instead of full public tables — bit-identical training
+        results, but per-client intermediates shrink from ``O(table)`` to
+        ``O(rows touched)`` and the communication ledger meters what is
+        actually sent.  The PTF protocol's exchange (prediction triples) is
+        natively sparse, so the knob is a no-op there.
+    ``shard_size``
+        Stream each round's cohort through the schedulers in contiguous
+        shards of at most this many clients (``0`` = one shard).  Sharding
+        bounds peak memory — per-shard plan and payload buffers never exceed
+        ``O(shard_size)`` — and never changes results: shards are processed
+        in cohort order, so aggregation performs the exact same additions.
     """
 
     scheduler: str = "serial"
     max_cohort: int = 128
     workers: int = 0
     fallback: str = "serial"
+    payload: str = "dense"
+    shard_size: int = 0
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULER_MODES:
@@ -69,4 +92,12 @@ class EngineSpec:
         if self.fallback not in ("serial", "error"):
             raise ValueError(
                 f"fallback must be 'serial' or 'error', got {self.fallback!r}"
+            )
+        if self.payload not in PAYLOAD_FORMATS:
+            raise ValueError(
+                f"payload must be one of {PAYLOAD_FORMATS}, got {self.payload!r}"
+            )
+        if self.shard_size < 0:
+            raise ValueError(
+                f"shard_size must be non-negative, got {self.shard_size}"
             )

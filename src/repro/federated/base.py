@@ -32,12 +32,17 @@ from repro.engine import ClientTrainingPlan, create_scheduler
 from repro.engine.spec import EngineSpec
 from repro.eval.ranking import RankingEvaluator, RankingResult
 from repro.eval.scoring import DEFAULT_CHUNK_SIZE
-from repro.federated.communication import CommunicationLedger
+from repro.federated.communication import (
+    FLOAT_BYTES,
+    CommunicationLedger,
+    sparse_parameter_bytes,
+)
 from repro.models.base import Recommender
 from repro.nn.losses import PointwiseBCELoss
 from repro.optim import SGD
 from repro.scenario import RoundParticipation, ScenarioEngine
 from repro.scenario.spec import ScenarioSpec
+from repro.tensor.sparse import SparseDelta
 from repro.utils.rng import RngFactory
 
 
@@ -208,6 +213,44 @@ class ParameterTransmissionFedRec:
         """Bytes shipped client→server each round."""
         raise NotImplementedError
 
+    def _item_row_parameter_names(self) -> Sequence[str]:
+        """Public parameters that are item-row tables.
+
+        The sparse payload path restricts these tables to each client's
+        touched rows; every other public parameter ships whole.  Default:
+        none (every public parameter is exchanged as a dense block).
+        """
+        return ()
+
+    def _sparse_value_bytes(self) -> int:
+        """Per-value wire cost of a sparse upload (FedMF ships ciphertexts)."""
+        return FLOAT_BYTES
+
+    @property
+    def payload_format(self) -> str:
+        """The configured parameter-exchange format (``dense`` or ``sparse``)."""
+        return self.config.engine.payload if self.config.engine is not None else "dense"
+
+    def _upload_bytes_sparse(self, touched: Mapping[str, tuple]) -> int:
+        """Price one client's upload from its actual touched-row stats.
+
+        Item-row tables pay per touched row (index + row values); other
+        public parameters ship as dense blocks with no index overhead.
+        Row indices stay plaintext even under encryption — which rows
+        carry an update is already exposed by the payload's shape.
+        """
+        item_rows = set(self._item_row_parameter_names())
+        value_bytes = self._sparse_value_bytes()
+        total = 0
+        for name, (num_rows, row_width) in touched.items():
+            if name in item_rows:
+                total += sparse_parameter_bytes(
+                    num_rows, row_width, value_bytes=value_bytes
+                )
+            else:
+                total += num_rows * row_width * value_bytes
+        return total
+
     # ------------------------------------------------------------------
     # Federated round
     # ------------------------------------------------------------------
@@ -264,6 +307,11 @@ class ParameterTransmissionFedRec:
         dynamic-participation path (:meth:`_run_round_scenario`): churned
         clients are skipped, stragglers' payloads are discarded or buffered,
         and aggregation renormalizes over what actually arrived.
+
+        Under ``payload="sparse"`` the upload leg is metered from each
+        client's actual touched-row statistics (:meth:`Scheduler.pop_touched`)
+        instead of the flat full-table price — the download leg stays a
+        dense broadcast of the public parameters.
         """
         if self.scenario.enabled:
             return self._run_round_scenario(round_index)
@@ -276,6 +324,7 @@ class ParameterTransmissionFedRec:
             self, selected, round_index, global_state
         )
         failed = set(self.engine.pop_failed())
+        touched = self.engine.pop_touched()
         client_losses: List[float] = [
             losses[user] for user in selected if user not in failed
         ]
@@ -284,8 +333,13 @@ class ParameterTransmissionFedRec:
                                description=f"{self.name} public parameters")
             if user in failed:
                 continue
-            self.ledger.record(round_index, user, "upload", upload_bytes,
-                               description=f"{self.name} public parameter update")
+            if user in touched:
+                self.ledger.record(round_index, user, "upload",
+                                   self._upload_bytes_sparse(touched[user]),
+                                   description=f"{self.name} sparse parameter update")
+            else:
+                self.ledger.record(round_index, user, "upload", upload_bytes,
+                                   description=f"{self.name} public parameter update")
 
         new_state = {}
         for name, base in global_state.items():
@@ -307,6 +361,18 @@ class ParameterTransmissionFedRec:
                 dropped=len(failed),
             ).as_logs())
         return logs
+
+    def _encode_buffered(self, arrays: Dict[str, np.ndarray]) -> Dict[str, object]:
+        """Encode a stale cohort's summed payload for buffering.
+
+        Sparse runs keep only the nonzero rows (the buffer would otherwise
+        hold full public tables per straggling cohort); dense runs keep the
+        arrays as-is.  Folding a sparse entry back in is bit-identical: the
+        dropped rows are exactly ``0.0`` and would contribute ``+0.0``.
+        """
+        if self.payload_format != "sparse":
+            return dict(arrays)
+        return {name: SparseDelta.from_dense(value) for name, value in arrays.items()}
 
     def _run_round_scenario(self, round_index: int) -> Dict[str, float]:
         """One round under fault injection (partial / async aggregation).
@@ -352,13 +418,17 @@ class ParameterTransmissionFedRec:
                     "origin_round": round_index,
                     "staleness": staleness,
                     "users": survivors,
-                    "delta_sum": dsum,
-                    "update_count": dcount,
+                    "delta_sum": self._encode_buffered(dsum),
+                    "update_count": self._encode_buffered(dcount),
                 })
         if plan.lost:
             train_group(plan.lost)
+        touched = self.engine.pop_touched()
 
-        # Fold in buffered payloads that are due this round, FIFO.
+        # Fold in buffered payloads that are due this round, FIFO.  Sparse
+        # runs buffer rows-touched payloads; folding them adds, at the
+        # encoded rows, the same weighted values the dense fold adds — the
+        # skipped rows would have contributed exactly ``weight * 0.0``.
         applied = 0
         pending_buffer = []
         for entry in self._stale_buffer:
@@ -367,8 +437,16 @@ class ParameterTransmissionFedRec:
                 continue
             weight = self.scenario.staleness_weight(int(entry["staleness"]))
             for name in weighted_sum:
-                weighted_sum[name] += weight * entry["delta_sum"][name]
-                weighted_count[name] += weight * entry["update_count"][name]
+                dsum_value = entry["delta_sum"][name]
+                dcount_value = entry["update_count"][name]
+                if isinstance(dsum_value, SparseDelta):
+                    dsum_value.add_into(weighted_sum[name], weight=weight)
+                else:
+                    weighted_sum[name] += weight * dsum_value
+                if isinstance(dcount_value, SparseDelta):
+                    dcount_value.add_into(weighted_count[name], weight=weight)
+                else:
+                    weighted_count[name] += weight * dcount_value
             applied += len(entry["users"])
         self._stale_buffer = pending_buffer
 
@@ -379,7 +457,13 @@ class ParameterTransmissionFedRec:
                 continue
             self.ledger.record(round_index, user, "download", download_bytes,
                                description=f"{self.name} public parameters")
-            if user in uploaded:
+            if user not in uploaded:
+                continue
+            if user in touched:
+                self.ledger.record(round_index, user, "upload",
+                                   self._upload_bytes_sparse(touched[user]),
+                                   description=f"{self.name} sparse parameter update")
+            else:
                 self.ledger.record(round_index, user, "upload", upload_bytes,
                                    description=f"{self.name} public parameter update")
 
@@ -453,8 +537,16 @@ class ParameterTransmissionFedRec:
                     "origin_round": int(entry["origin_round"]),
                     "staleness": int(entry["staleness"]),
                     "users": [int(user) for user in entry["users"]],
-                    "delta_sum": dict(entry["delta_sum"]),
-                    "update_count": dict(entry["update_count"]),
+                    "delta_sum": {
+                        name: value.state_dict() if isinstance(value, SparseDelta)
+                        else value
+                        for name, value in entry["delta_sum"].items()
+                    },
+                    "update_count": {
+                        name: value.state_dict() if isinstance(value, SparseDelta)
+                        else value
+                        for name, value in entry["update_count"].items()
+                    },
                 }
                 for entry in self._stale_buffer
             ],
@@ -473,11 +565,13 @@ class ParameterTransmissionFedRec:
                 "staleness": int(entry["staleness"]),
                 "users": [int(user) for user in entry["users"]],
                 "delta_sum": {
-                    name: np.asarray(value)
+                    name: SparseDelta.from_state_dict(value)
+                    if SparseDelta.is_state_dict(value) else np.asarray(value)
                     for name, value in entry["delta_sum"].items()
                 },
                 "update_count": {
-                    name: np.asarray(value)
+                    name: SparseDelta.from_state_dict(value)
+                    if SparseDelta.is_state_dict(value) else np.asarray(value)
                     for name, value in entry["update_count"].items()
                 },
             }

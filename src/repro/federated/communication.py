@@ -38,6 +38,28 @@ def dense_parameter_bytes(num_values: int) -> int:
     return num_values * FLOAT_BYTES
 
 
+def sparse_parameter_bytes(
+    num_rows: int,
+    row_width: int,
+    index_bytes: int = INT_BYTES,
+    value_bytes: int = FLOAT_BYTES,
+) -> int:
+    """Bytes needed to ship ``num_rows`` touched rows of a parameter table.
+
+    A sparse payload carries, per touched row, one row index plus
+    ``row_width`` values — so a client that touched 40 of 100k item rows
+    pays for 40 rows, not the full table.  ``value_bytes`` generalizes the
+    per-value cost (FedMF ships ciphertexts, not plaintext floats; row
+    indices stay plaintext — they are already exposed by which rows carry
+    an update at all).
+    """
+    if num_rows < 0:
+        raise ValueError(f"num_rows must be non-negative, got {num_rows}")
+    if row_width < 0:
+        raise ValueError(f"row_width must be non-negative, got {row_width}")
+    return num_rows * (index_bytes + row_width * value_bytes)
+
+
 def encrypted_parameter_bytes(
     num_values: int, ciphertext_bytes: int = PAILLIER_CIPHERTEXT_BYTES
 ) -> int:

@@ -40,6 +40,10 @@ class FCF(ParameterTransmissionFedRec):
     def _public_parameter_names(self) -> Sequence[str]:
         return ["item_embedding.weight"]
 
+    def _item_row_parameter_names(self) -> Sequence[str]:
+        # Sparse payloads ship only the item rows a client interacted with.
+        return ["item_embedding.weight"]
+
     def _public_value_count(self) -> int:
         model: MatrixFactorization = self.model
         return model.item_embedding.weight.size

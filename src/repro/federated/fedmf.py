@@ -57,6 +57,15 @@ class FedMF(ParameterTransmissionFedRec):
     def _public_parameter_names(self) -> Sequence[str]:
         return ["item_embedding.weight"]
 
+    def _item_row_parameter_names(self) -> Sequence[str]:
+        # Sparse payloads ship only the item rows a client interacted with.
+        return ["item_embedding.weight"]
+
+    def _sparse_value_bytes(self) -> int:
+        # Each uploaded value is still a ciphertext; the row indices stay
+        # plaintext (which rows update is already visible to the server).
+        return self.ciphertext_bytes
+
     def _public_value_count(self) -> int:
         model: MatrixFactorization = self.model
         return model.item_embedding.weight.size

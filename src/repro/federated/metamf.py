@@ -86,6 +86,11 @@ class MetaMF(ParameterTransmissionFedRec):
             "meta_output.bias",
         ]
 
+    def _item_row_parameter_names(self) -> Sequence[str]:
+        # Only the base table is item-indexed; the meta-network weights are
+        # dense blocks every client updates wholesale.
+        return ["item_base_embedding.weight"]
+
     def _public_value_count(self) -> int:
         model: MetaMFModel = self.model
         return (

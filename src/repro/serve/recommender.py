@@ -120,6 +120,11 @@ class Recommender:
         served from the popularity fallback (they become warm the moment a
         later round trains past their arrival), and items that had not
         arrived are excluded from every recommendation list.
+
+        The engine spec a trainer ran under is irrelevant here: sparse
+        payloads and cohort sharding are bit-identical executions, so a
+        model trained at 10k-client scale serves exactly the recommendations
+        of its dense reference run.
         """
         seen_items = {user: dataset.train_items(user) for user in dataset.users}
         item_mask = None

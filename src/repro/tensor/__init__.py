@@ -22,6 +22,12 @@ from repro.tensor.backend import (
     set_backend,
     use_backend,
 )
+from repro.tensor.sharedmem import (
+    SharedEmbeddingStore,
+    SharedTableHandle,
+    shared_memory_available,
+)
+from repro.tensor.sparse import SparseDelta
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
 from repro.tensor import functional
 from repro.tensor.gradcheck import check_gradients
@@ -32,6 +38,10 @@ __all__ = [
     "is_grad_enabled",
     "functional",
     "check_gradients",
+    "SharedEmbeddingStore",
+    "SharedTableHandle",
+    "SparseDelta",
+    "shared_memory_available",
     "Backend",
     "NumpyBackend",
     "Numpy32Backend",

@@ -1,0 +1,170 @@
+"""Shared-memory embedding stores for multiprocess training.
+
+The multiprocess scheduler historically shipped the whole global model to
+every worker through pickle — ``workers`` full copies of the public
+item-embedding table per round, which is exactly the memory wall the
+sparse/sharded execution path removes.  A :class:`SharedEmbeddingStore`
+maps the global tables into POSIX shared memory once; workers receive only
+tiny picklable :class:`SharedTableHandle` descriptors and attach read-only
+views, so the table exists in physical memory a single time regardless of
+worker count.
+
+Availability is platform-dependent (``/dev/shm`` may be missing or
+restricted in sandboxes), so creation is routed through
+:meth:`repro.tensor.backend.Backend.create_shared_store`, which returns
+``None`` on failure — callers fall back to pickling the tables inline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+try:  # pragma: no cover - import always succeeds on CPython >= 3.8
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - exotic platforms only
+    _shm = None
+
+__all__ = ["SharedEmbeddingStore", "SharedTableHandle", "shared_memory_available"]
+
+
+def shared_memory_available() -> bool:
+    """Whether this interpreter can create shared-memory segments at all."""
+    return _shm is not None
+
+
+def _attach_untracked(segment_name: str):
+    # A process that merely *attaches* a segment still registers it with
+    # its resource tracker (Python 3.13 grew ``track=False`` for exactly
+    # this); ownership here is explicit — the creating store unlinks — so
+    # an attachment must not be tracked: worker exit would try to unlink
+    # segments the parent still owns, and with a fork-shared tracker,
+    # several workers attaching the same segment underflow its per-name
+    # set.  Suppress registration at attach time on older interpreters.
+    try:
+        return _shm.SharedMemory(name=segment_name, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _skip_shared_memory(path, rtype):
+        if rtype != "shared_memory":
+            original(path, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return _shm.SharedMemory(name=segment_name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedTableHandle:
+    """Picklable descriptor of one shared table.
+
+    Ships (segment name, shape, dtype) to a worker process; :meth:`open`
+    attaches the segment and returns a read-only ndarray view over it.
+    The handle keeps the attachment alive until :meth:`close`.
+    """
+
+    def __init__(self, name: str, segment_name: str, shape, dtype):
+        self.name = name
+        self.segment_name = segment_name
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype).str
+        self._segment = None
+
+    def open(self) -> np.ndarray:
+        """Attach the segment and return a read-only view of the table."""
+        if _shm is None:  # pragma: no cover - exotic platforms only
+            raise RuntimeError("shared memory is unavailable on this platform")
+        if self._segment is None:
+            self._segment = _attach_untracked(self.segment_name)
+        view = np.ndarray(
+            self.shape, dtype=np.dtype(self.dtype), buffer=self._segment.buf
+        )
+        view.flags.writeable = False
+        return view
+
+    def close(self) -> None:
+        """Detach from the segment (the owner unlinks; this never does)."""
+        if self._segment is not None:
+            try:
+                self._segment.close()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+            self._segment = None
+
+    # Attachments are per-process state; a pickled handle arrives closed.
+    def __getstate__(self):
+        return {
+            "name": self.name,
+            "segment_name": self.segment_name,
+            "shape": self.shape,
+            "dtype": self.dtype,
+        }
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._segment = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"SharedTableHandle(name={self.name!r}, shape={self.shape}, "
+            f"dtype={self.dtype})"
+        )
+
+
+class SharedEmbeddingStore:
+    """Owns shared-memory copies of a set of named tables.
+
+    The creating process writes each array into its own segment and hands
+    out :class:`SharedTableHandle` descriptors via :attr:`handles`.  The
+    store owns the segments: :meth:`close` detaches *and unlinks* them, so
+    it must outlive every worker that attached.  Use as a context manager
+    around the worker pool.
+    """
+
+    def __init__(self, arrays: Dict[str, np.ndarray]):
+        if _shm is None:  # pragma: no cover - exotic platforms only
+            raise OSError("shared memory is unavailable on this platform")
+        self._segments = []
+        self.handles: Dict[str, SharedTableHandle] = {}
+        try:
+            for name, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                segment = _shm.SharedMemory(create=True, size=max(1, array.nbytes))
+                self._segments.append(segment)
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+                view[...] = array
+                self.handles[name] = SharedTableHandle(
+                    name, segment.name, array.shape, array.dtype
+                )
+        except Exception:
+            self.close()
+            raise
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes of shared memory the store holds across all segments."""
+        return sum(segment.size for segment in self._segments)
+
+    def close(self) -> None:
+        """Detach and unlink every segment (idempotent)."""
+        for segment in self._segments:
+            for method in (segment.close, segment.unlink):
+                try:
+                    method()
+                except Exception:  # pragma: no cover - best-effort cleanup
+                    pass
+        self._segments = []
+        self.handles = {}
+
+    def __enter__(self) -> "SharedEmbeddingStore":
+        return self
+
+    def __exit__(self, *exc_info) -> Optional[bool]:
+        self.close()
+        return None

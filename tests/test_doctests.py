@@ -16,6 +16,7 @@ import repro.engine.batch
 import repro.engine.spec
 import repro.experiments.spec
 import repro.tensor.backend
+import repro.tensor.sparse
 
 MODULES = [
     repro.engine,
@@ -23,6 +24,7 @@ MODULES = [
     repro.engine.batch,
     repro.experiments.spec,
     repro.tensor.backend,
+    repro.tensor.sparse,
 ]
 
 
