@@ -1,0 +1,80 @@
+"""Gateway load benchmark: micro-batching vs the per-request loop.
+
+The acceptance bars for the serving gateway, asserted over one
+:func:`benchmarks.serve_loadgen.run_load_suite` run at 10k simulated
+users (seeded arrivals, MetaMF service — see ``serve_loadgen`` for why
+that architecture is the micro-batching stress case):
+
+* closed-loop gateway QPS at least :data:`MIN_SPEEDUP` x the naive
+  per-request loop's QPS;
+* client-observed p99 latency within the configured SLO on both the
+  closed-loop and the open-loop (Poisson-arrival) runs;
+* zero requests shed — the SLO headroom is real, not survivorship.
+
+The full report is printed and, when ``SERVE_GATEWAY_JSON`` names a
+path, written there as well — the CI ``serve-smoke`` job uploads that
+file as a workflow artifact (same convention as ``SCALE_MEMORY_JSON``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from serve_loadgen import NUM_USERS, SLO_MS, run_load_suite
+
+#: Acceptance floor for closed-loop gateway QPS over per-request QPS.
+#: The measured ratio is far higher (the per-request path re-runs the
+#: meta network per query); 3x leaves room for noisy shared CI runners.
+MIN_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def load_report() -> dict:
+    report = run_load_suite()
+    artifact = os.environ.get("SERVE_GATEWAY_JSON")
+    rendered = json.dumps(report, indent=2)
+    if artifact:
+        Path(artifact).write_text(rendered + "\n")
+    print(rendered)
+    return report
+
+
+def test_simulates_ten_thousand_users(load_report):
+    assert NUM_USERS >= 10_000
+    assert load_report["num_users"] == NUM_USERS
+
+
+def test_microbatching_beats_per_request_path(load_report):
+    baseline = load_report["baseline"]["qps"]
+    gateway = load_report["closed_loop"]["qps"]
+    assert load_report["qps_speedup"] >= MIN_SPEEDUP, (
+        f"closed-loop gateway reached {gateway:.0f} QPS vs per-request "
+        f"{baseline:.0f} QPS — {load_report['qps_speedup']:.2f}x, "
+        f"below the {MIN_SPEEDUP}x acceptance floor"
+    )
+
+
+def test_p99_within_slo(load_report):
+    for pattern in ("closed_loop", "open_loop"):
+        p99 = load_report[pattern]["latency_ms"]["p99"]
+        assert p99 <= SLO_MS, (
+            f"{pattern} client p99 {p99:.1f}ms exceeds the {SLO_MS}ms SLO"
+        )
+
+
+def test_no_requests_shed(load_report):
+    for pattern in ("closed_loop", "open_loop"):
+        run = load_report[pattern]
+        assert run["rejected"] == 0
+        assert run["completed"] == run["num_requests"]
+
+
+def test_batches_actually_form(load_report):
+    """The speedup must come from coalescing, not a degenerate 1-batch."""
+    stats = load_report["closed_loop"]["gateway"]
+    assert stats["mean_batch"] >= 4.0
+    assert stats["completed"] == load_report["closed_loop"]["completed"]

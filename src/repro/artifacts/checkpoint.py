@@ -24,6 +24,7 @@ import hashlib
 import json
 import os
 import shutil
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
@@ -264,23 +265,66 @@ def save_checkpoint(
     return path
 
 
-def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
-    """Read a checkpoint directory written by :func:`save_checkpoint`."""
-    path = Path(path)
+def _read_manifest_text(path: Path) -> str:
+    """Read the manifest's raw text (hook point for the torn-read tests)."""
     manifest_path = path / MANIFEST_NAME
     if not manifest_path.exists():
         raise FileNotFoundError(f"no checkpoint manifest at {manifest_path}")
-    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-    if manifest.get("kind") != _MANIFEST_KIND:
-        raise ValueError(f"{manifest_path} is not a repro checkpoint manifest")
-    version = manifest.get("schema_version")
-    if version not in SUPPORTED_SCHEMA_VERSIONS:
-        raise ValueError(
-            f"unsupported checkpoint schema version {version!r} "
-            f"(this build reads versions {SUPPORTED_SCHEMA_VERSIONS})"
+    return manifest_path.read_text(encoding="utf-8")
+
+
+#: Attempts :func:`load_checkpoint` makes against a concurrently rewritten
+#: artifact before giving up (each retry restarts from a fresh manifest).
+_LOAD_RETRIES = 5
+
+
+def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
+    """Read a checkpoint directory written by :func:`save_checkpoint`.
+
+    Safe against a concurrent :func:`save_checkpoint` to the same path —
+    the background-load path of a serving hot swap, where a trainer keeps
+    rewriting ``latest/`` while the gateway loads it.  The directory swap
+    is atomic per file, but a reader could still pair the *old* manifest
+    with the *new* array payload (or hit the instant between the two
+    renames, where the path briefly does not exist).  Both tears are
+    detected — the manifest is re-read after the arrays and compared, and
+    a transiently missing path is retried — and the load restarts from a
+    fresh manifest, so a caller only ever observes a complete old artifact
+    or a complete new one.
+    """
+    path = Path(path)
+    manifest_text = _read_manifest_text(path)
+    for attempt in range(_LOAD_RETRIES):
+        manifest = json.loads(manifest_text)
+        if manifest.get("kind") != _MANIFEST_KIND:
+            raise ValueError(f"{path / MANIFEST_NAME} is not a repro checkpoint manifest")
+        version = manifest.get("schema_version")
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
+            raise ValueError(
+                f"unsupported checkpoint schema version {version!r} "
+                f"(this build reads versions {SUPPORTED_SCHEMA_VERSIONS})"
+            )
+        try:
+            with np.load(path / manifest["arrays_file"], allow_pickle=False) as payload:
+                arrays = {key: payload[key] for key in payload.files}
+            reread = _read_manifest_text(path)
+        except FileNotFoundError:
+            # Mid-swap window: the old directory was parked and the new
+            # one not yet renamed in.  Wait out the rename and restart.
+            time.sleep(0.01 * (attempt + 1))
+            manifest_text = _read_manifest_text(path)
+            continue
+        if reread == manifest_text:
+            break
+        # The artifact was replaced between the two reads; the arrays may
+        # belong to the new version while the parsed manifest is the old
+        # one.  Restart from the fresh manifest.
+        manifest_text = reread
+    else:
+        raise RuntimeError(
+            f"checkpoint at {path} kept changing across {_LOAD_RETRIES} load "
+            "attempts; is a writer saving in a tight loop?"
         )
-    with np.load(path / manifest["arrays_file"], allow_pickle=False) as payload:
-        arrays = {key: payload[key] for key in payload.files}
     spec_data = dict(manifest["spec"])
     # Pre-backend manifests carry no backend field: they were written by
     # the float64 reference substrate.  Pin that explicitly — otherwise a

@@ -14,7 +14,14 @@ it.
   fallback for cold-start users;
 * ``Recommender.from_checkpoint(path)`` — stand up the service straight
   from a saved artifact (PTF-FedRec artifacts serve the provider's hidden
-  server model, exactly what the paper's deployment story implies).
+  server model, exactly what the paper's deployment story implies);
+* :class:`ServingGateway` — the traffic-facing layer over the facade:
+  concurrent single-user ``recommend``/``scores`` requests are coalesced
+  into one cohort score pass per tick (micro-batching, knobs ``max_batch``
+  / ``max_wait_ms``), models hot-swap from checkpoints with zero downtime
+  (:meth:`ServingGateway.swap`), latency SLOs shed deterministically under
+  overload (:class:`Rejected`), and :class:`GatewayStats` snapshots
+  p50/p99/QPS/batch-histogram telemetry for the benchmark JSON artifacts.
 
 Quickstart::
 
@@ -30,7 +37,15 @@ Quickstart::
     top10 = service.recommend([0, 1, 2], k=10)   # (3, 10) ranked item ids
 """
 
+from repro.serve.gateway import GatewayStats, GatewayTicket, Rejected, ServingGateway
 from repro.serve.recommender import Recommender
 from repro.serve.scoring import batch_scores
 
-__all__ = ["Recommender", "batch_scores"]
+__all__ = [
+    "Recommender",
+    "batch_scores",
+    "ServingGateway",
+    "GatewayTicket",
+    "GatewayStats",
+    "Rejected",
+]

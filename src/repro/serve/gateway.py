@@ -1,0 +1,651 @@
+"""The traffic-facing request gateway: micro-batching, hot swap, SLOs.
+
+:class:`repro.serve.Recommender` answers a *pre-batched* cohort fast —
+one cohort score pass instead of ``U`` per-user round-trips — but live
+traffic arrives as concurrent single-user requests.  ``ServingGateway``
+is the layer in between: client threads call :meth:`recommend` /
+:meth:`scores` (or enqueue :class:`GatewayTicket`\\ s via :meth:`submit`),
+a single dispatcher thread coalesces whatever is waiting into one cohort
+per *tick* (bounded by ``max_batch`` and ``max_wait_ms``), answers the
+whole tick through the facade's batched paths, and fans the rows back out
+to the individual callers.
+
+**Identity contract.**  Every tick is answered by exactly the direct
+``Recommender`` call a caller holding the coalesced cohort would have
+made — one :meth:`Recommender.scores` pass per tick for score requests
+and one :meth:`Recommender.recommend` per ``(k, exclude_seen)`` group —
+so the fanned-out results are bit-identical (``==``) to that direct
+batched call, and each request's ranked top-k equals its own direct
+per-user query (``tests/test_serve_gateway.py`` asserts both for every
+servable architecture, under both tensor backends).
+
+**Hot swap.**  :meth:`swap` restores a schema-v2 checkpoint into a fresh
+``Recommender`` on a background loader thread while the old model keeps
+serving, then the dispatcher flips the service reference atomically
+*between* ticks.  A tick is answered entirely by one service snapshot, so
+a request sees only-old or only-new scores — never a torn mix — and the
+flip retires the old LRU cache, popularity fallback and item mask in one
+step (in-place single-threaded deployments can use
+:meth:`Recommender.reload` instead).
+
+**SLOs.**  The queue is bounded (``max_queue``; overflow is answered
+immediately with a 503-style :class:`Rejected`) and each request carries
+a deadline (``deadline_ms``); requests whose deadline has passed when
+their tick is dispatched are shed deterministically instead of consuming
+a score pass.  The shedding clock is injectable (``clock=``), so overload
+behaviour is replayable under a seeded fake clock.
+
+**Telemetry.**  :meth:`stats` snapshots a :class:`GatewayStats` —
+p50/p99/max latency, QPS, the batch-size histogram, cache/cold/shed
+counters and the swap count — with a ``to_dict`` ready for the JSON
+benchmark artifacts the CI jobs upload.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.serve.recommender import Recommender
+
+#: Batching-window wait slice: if no request arrives for one slice the
+#: dispatcher stops holding the tick open (every in-flight client is
+#: already queued) instead of sleeping out the rest of ``max_wait_ms``.
+_QUIET_SLICE_S = 0.0005
+
+__all__ = ["ServingGateway", "GatewayTicket", "GatewayStats", "Rejected"]
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """A 503-style shed decision, returned *as the result* of a request.
+
+    Overload is an expected operating mode, not an exception: callers
+    pattern-match on the result (``isinstance(result, Rejected)``) the way
+    an HTTP client branches on a status code.
+
+    ``reason`` is one of ``"deadline"`` (the request's latency SLO expired
+    before its tick was dispatched), ``"queue_full"`` (the bounded queue
+    was at ``max_queue`` on arrival) or ``"shutdown"`` (the gateway
+    stopped while the request was queued).
+    """
+
+    reason: str
+    status: int = 503
+
+    def __bool__(self) -> bool:  # a shed request is a falsy result
+        return False
+
+
+class GatewayTicket:
+    """One in-flight request: resolves to rows/ids or a :class:`Rejected`.
+
+    Returned by :meth:`ServingGateway.submit`; :meth:`result` blocks until
+    the dispatcher resolves the ticket (scored, shed, or failed — a
+    scoring error re-raises here, in the caller's thread).
+    """
+
+    __slots__ = (
+        "user", "k", "kind", "exclude_seen", "submitted_at", "deadline",
+        "_arrived_real", "_event", "_outcome", "_error",
+    )
+
+    def __init__(self, user: int, k: int, kind: str, exclude_seen: bool,
+                 submitted_at: float, deadline: Optional[float]):
+        self.user = user
+        self.k = k
+        self.kind = kind
+        self.exclude_seen = exclude_seen
+        self.submitted_at = submitted_at
+        self.deadline = deadline
+        self._arrived_real = time.monotonic()
+        self._event = threading.Event()
+        self._outcome: Any = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        """The request's outcome: ndarray rows/ids, or :class:`Rejected`."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"gateway request for user {self.user} still pending after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._outcome
+
+    def _resolve(self, outcome: Any) -> None:
+        self._outcome = outcome
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass(frozen=True)
+class GatewayStats:
+    """One telemetry snapshot of a running gateway (see ``to_dict``)."""
+
+    completed: int
+    failed: int
+    shed_deadline: int
+    shed_queue_full: int
+    shed_shutdown: int
+    ticks: int
+    swaps: int
+    qps: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    latency_max_ms: float
+    mean_batch: float
+    #: tick batch size -> number of ticks dispatched at that size.
+    batch_histogram: Dict[int, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cold_hits: int = 0
+    window_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot (histogram keys become strings in json)."""
+        return {
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed": {
+                "deadline": self.shed_deadline,
+                "queue_full": self.shed_queue_full,
+                "shutdown": self.shed_shutdown,
+            },
+            "ticks": self.ticks,
+            "swaps": self.swaps,
+            "qps": round(self.qps, 1),
+            "latency_ms": {
+                "p50": round(self.latency_p50_ms, 3),
+                "p99": round(self.latency_p99_ms, 3),
+                "max": round(self.latency_max_ms, 3),
+            },
+            "mean_batch": round(self.mean_batch, 2),
+            "batch_histogram": dict(sorted(self.batch_histogram.items())),
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "cold": self.cold_hits,
+            },
+            "window_seconds": round(self.window_seconds, 3),
+        }
+
+
+class ServingGateway:
+    """Async micro-batching front door over a :class:`Recommender`.
+
+    >>> # doctest illustration only — see examples/serving_gateway.py
+    >>> # gateway = ServingGateway(service, max_batch=64, max_wait_ms=2.0)
+    >>> # with gateway:                      # starts the dispatcher thread
+    >>> #     ids = gateway.recommend(user=3, k=10)
+
+    Knobs:
+
+    ``max_batch``
+        Upper bound on requests coalesced into one tick.
+    ``max_wait_ms``
+        How long a tick may hold its *oldest* waiting request to let a
+        batch fill; under load ticks dispatch full and never wait.
+    ``deadline_ms``
+        Per-request latency SLO.  ``None`` disables shedding.
+    ``max_queue``
+        Bound on the waiting-request queue; arrivals beyond it are
+        answered ``Rejected("queue_full")`` immediately — overload sheds
+        instead of queueing without bound.
+    ``clock``
+        Time source for deadlines/latency accounting (default
+        ``time.perf_counter``).  Injectable so shedding is reproducible
+        under a fake clock; the batching cadence itself always uses real
+        time, it is an execution detail that never changes results.
+
+    Deterministic (single-threaded) operation: never call :meth:`start`,
+    enqueue with :meth:`submit`, and drive ticks explicitly with
+    :meth:`run_tick` — the concurrency suite and the seeded-clock shed
+    tests run the gateway exactly this way.
+    """
+
+    def __init__(
+        self,
+        service: Recommender,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        deadline_ms: Optional[float] = None,
+        max_queue: int = 10_000,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be non-negative, got {max_wait_ms}")
+        if max_queue <= 0:
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be positive, got {deadline_ms}")
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.deadline_s = None if deadline_ms is None else float(deadline_ms) / 1000.0
+        self.max_queue = int(max_queue)
+        self._clock = clock
+        self._service = service
+        self._queue: Deque[GatewayTicket] = deque()
+        self._cond = threading.Condition()
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+        # (new_service, flipped_event, outcome_holder) staged by the
+        # loader thread, applied by the dispatcher between ticks.
+        self._pending_swap: Optional[Tuple[Recommender, threading.Event, dict]] = None
+        self._stats_lock = threading.Lock()
+        self._latencies: List[float] = []
+        self._batch_histogram: Dict[int, int] = {}
+        self._completed = 0
+        self._failed = 0
+        self._shed = {"deadline": 0, "queue_full": 0, "shutdown": 0}
+        self._ticks = 0
+        self._swaps = 0
+        self._retired_cache = (0, 0, 0)  # hits/misses/cold of replaced services
+        self._window_start: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Construction / lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: Union[str, Path],
+        dataset=None,
+        cache_size: int = 256,
+        **knobs,
+    ) -> "ServingGateway":
+        """Stand the gateway up straight from a checkpoint artifact."""
+        service = Recommender.from_checkpoint(path, dataset=dataset, cache_size=cache_size)
+        return cls(service, **knobs)
+
+    @property
+    def service(self) -> Recommender:
+        """The live service snapshot (replaced atomically by swaps)."""
+        return self._service
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def start(self) -> "ServingGateway":
+        """Start the background dispatcher thread (idempotent)."""
+        with self._cond:
+            if self._running:
+                return self
+            self._running = True
+        self._thread = threading.Thread(
+            target=self._loop, name="serving-gateway", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop dispatching; queued requests resolve ``Rejected("shutdown")``."""
+        with self._cond:
+            if not self._running and self._thread is None:
+                self._drain_shutdown_locked()
+                return
+            self._running = False
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+        with self._cond:
+            self._drain_shutdown_locked()
+
+    def __enter__(self) -> "ServingGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _drain_shutdown_locked(self) -> None:
+        while self._queue:
+            ticket = self._queue.popleft()
+            with self._stats_lock:
+                self._shed["shutdown"] += 1
+            ticket._resolve(Rejected("shutdown"))
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        user: int,
+        k: int = 20,
+        exclude_seen: bool = True,
+        kind: str = "recommend",
+        deadline_ms: Optional[float] = None,
+    ) -> GatewayTicket:
+        """Enqueue one request; returns immediately with its ticket.
+
+        ``deadline_ms`` overrides the gateway-level SLO for this request.
+        Invalid arguments raise here, in the caller's thread; overload is
+        reported through the ticket as :class:`Rejected`.
+        """
+        if kind not in ("recommend", "scores"):
+            raise ValueError(f"kind must be 'recommend' or 'scores', got {kind!r}")
+        if kind == "recommend" and k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        now = self._clock()
+        budget = self.deadline_s if deadline_ms is None else deadline_ms / 1000.0
+        ticket = GatewayTicket(
+            user=int(user), k=int(k), kind=kind, exclude_seen=bool(exclude_seen),
+            submitted_at=now, deadline=None if budget is None else now + budget,
+        )
+        with self._stats_lock:
+            if self._window_start is None:
+                self._window_start = now
+        with self._cond:
+            if len(self._queue) >= self.max_queue:
+                with self._stats_lock:
+                    self._shed["queue_full"] += 1
+                ticket._resolve(Rejected("queue_full"))
+                return ticket
+            self._queue.append(ticket)
+            self._cond.notify_all()
+        return ticket
+
+    def recommend(
+        self,
+        user: int,
+        k: int = 20,
+        exclude_seen: bool = True,
+        timeout: Optional[float] = 60.0,
+    ):
+        """Blocking top-k query: ranked item ids, or :class:`Rejected`."""
+        self._require_dispatcher()
+        return self.submit(user, k=k, exclude_seen=exclude_seen).result(timeout)
+
+    def scores(self, user: int, timeout: Optional[float] = 60.0):
+        """Blocking raw-score query: a ``(num_items,)`` row, or :class:`Rejected`."""
+        self._require_dispatcher()
+        return self.submit(user, kind="scores").result(timeout)
+
+    def _require_dispatcher(self) -> None:
+        if not self._running:
+            raise RuntimeError(
+                "gateway is not running — call start() (or use the gateway as a "
+                "context manager); for single-threaded deterministic operation "
+                "use submit() + run_tick() instead of the blocking helpers"
+            )
+
+    # ------------------------------------------------------------------
+    # Hot swap
+    # ------------------------------------------------------------------
+    def swap(
+        self,
+        source: Union[str, Path, Recommender],
+        dataset=None,
+        cache_size: Optional[int] = None,
+        block: bool = True,
+        timeout: Optional[float] = 300.0,
+    ) -> threading.Event:
+        """Zero-downtime model swap.
+
+        ``source`` is a checkpoint directory (loaded on a background
+        thread through :meth:`Recommender.from_checkpoint`, so the torn-
+        read-safe artifact reader applies) or an already-built
+        :class:`Recommender`.  The old model keeps answering every tick
+        until the replacement is fully constructed; the dispatcher then
+        flips the service reference *between* ticks, so no request ever
+        mixes old and new scores.  The flip retires the old score cache,
+        popularity fallback and item mask wholesale — the new service
+        carries its own, built from the new artifact.
+
+        With ``block=True`` (default) the call returns once the flip is
+        live (re-raising any loader error); ``block=False`` returns the
+        flip event immediately.  Concurrent swaps race benignly: each
+        staged service replaces any not-yet-flipped predecessor (last
+        writer wins) and the superseded swap's event is set with
+        ``"superseded"`` recorded in no result — it simply never serves.
+        """
+        flipped = threading.Event()
+        holder: dict = {}
+
+        def _load() -> None:
+            try:
+                if isinstance(source, Recommender):
+                    service = source
+                else:
+                    size = cache_size if cache_size is not None else self._service.cache_size
+                    service = Recommender.from_checkpoint(
+                        source, dataset=dataset, cache_size=size
+                    )
+            except BaseException as error:  # surface through the waiter
+                holder["error"] = error
+                flipped.set()
+                return
+            with self._cond:
+                if self._pending_swap is not None:
+                    superseded = self._pending_swap
+                    superseded[2]["superseded"] = True
+                    superseded[1].set()
+                self._pending_swap = (service, flipped, holder)
+                self._cond.notify_all()
+            if not self._running:
+                # No dispatcher to flip between ticks — apply directly so
+                # manual-tick (and stopped) gateways still complete swaps.
+                self._apply_pending_swap()
+
+        loader = threading.Thread(target=_load, name="gateway-swap-loader", daemon=True)
+        loader.start()
+        if block:
+            if not flipped.wait(timeout):
+                raise TimeoutError(f"model swap did not complete within {timeout}s")
+            if "error" in holder:
+                raise holder["error"]
+        return flipped
+
+    def _apply_pending_swap(self) -> None:
+        with self._cond:
+            pending = self._pending_swap
+            self._pending_swap = None
+        if pending is None:
+            return
+        service, flipped, holder = pending
+        old = self._service
+        with self._stats_lock:
+            retired = self._retired_cache
+            self._retired_cache = (
+                retired[0] + old.cache_hits,
+                retired[1] + old.cache_misses,
+                retired[2] + old.cold_hits,
+            )
+            self._swaps += 1
+        self._service = service  # atomic reference flip
+        holder["applied"] = True
+        flipped.set()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while self._running and not self._queue and self._pending_swap is None:
+                    self._cond.wait(timeout=0.05)
+                if not self._running:
+                    break
+            self._apply_pending_swap()
+            self._dispatch_tick(wait_for_batch=True)
+
+    def run_tick(self) -> int:
+        """Dispatch one tick synchronously; returns requests resolved.
+
+        The deterministic drive mode: applies any completed pending swap,
+        coalesces everything currently queued (up to ``max_batch``) into
+        one cohort without waiting, scores it, and fans results out.  Not
+        for use while the background dispatcher is running.
+        """
+        if self._running:
+            raise RuntimeError("run_tick() is for gateways without a dispatcher thread")
+        self._apply_pending_swap()
+        return self._dispatch_tick(wait_for_batch=False)
+
+    def _dispatch_tick(self, wait_for_batch: bool) -> int:
+        with self._cond:
+            if not self._queue:
+                return 0
+            if wait_for_batch and self.max_wait_s > 0:
+                # Hold the tick briefly to let a batch form, anchored at
+                # the *oldest* waiting request's real arrival time so the
+                # wait bounds added latency, not inter-arrival gaps.  The
+                # wait runs in short slices: a slice that passes with no
+                # new arrivals means every in-flight client is already
+                # queued, so waiting out the rest of the window would add
+                # latency without growing the batch — dispatch early.
+                window_end = self._queue[0]._arrived_real + self.max_wait_s
+                while self._running and len(self._queue) < self.max_batch:
+                    remaining = window_end - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    before = len(self._queue)
+                    self._cond.wait(min(remaining, _QUIET_SLICE_S))
+                    if len(self._queue) == before:
+                        break
+            count = min(len(self._queue), self.max_batch)
+            batch = [self._queue.popleft() for _ in range(count)]
+        if not batch:
+            return 0
+
+        # One service snapshot answers the whole tick: swaps flip the
+        # reference only between ticks, so no request sees a torn mix.
+        service = self._service
+        now = self._clock()
+        live: List[GatewayTicket] = []
+        for ticket in batch:
+            if ticket.deadline is not None and now >= ticket.deadline:
+                with self._stats_lock:
+                    self._shed["deadline"] += 1
+                ticket._resolve(Rejected("deadline"))
+            else:
+                live.append(ticket)
+        if live:
+            self._answer(service, live)
+        with self._stats_lock:
+            self._ticks += 1
+            self._batch_histogram[len(batch)] = (
+                self._batch_histogram.get(len(batch), 0) + 1
+            )
+        return len(batch)
+
+    def _answer(self, service: Recommender, tickets: List[GatewayTicket]) -> None:
+        """Answer one tick's live requests with the facade's batched calls."""
+        score_tickets = [t for t in tickets if t.kind == "scores"]
+        if score_tickets:
+            self._answer_group(
+                score_tickets,
+                lambda users: service.scores(users),
+            )
+        groups: Dict[Tuple[int, bool], List[GatewayTicket]] = {}
+        for ticket in tickets:
+            if ticket.kind == "recommend":
+                groups.setdefault((ticket.k, ticket.exclude_seen), []).append(ticket)
+        for (k, exclude_seen), group in groups.items():
+            self._answer_group(
+                group,
+                lambda users, k=k, exclude_seen=exclude_seen: service.recommend(
+                    users, k=k, exclude_seen=exclude_seen
+                ),
+            )
+
+    def _answer_group(self, tickets: List[GatewayTicket], call) -> None:
+        users = np.asarray([t.user for t in tickets], dtype=np.int64)
+        try:
+            results = call(users)
+        except BaseException as error:
+            with self._stats_lock:
+                self._failed += len(tickets)
+            for ticket in tickets:
+                ticket._fail(error)
+            return
+        finish = self._clock()
+        with self._stats_lock:
+            self._completed += len(tickets)
+            self._latencies.extend(finish - t.submitted_at for t in tickets)
+        # ``recommend`` returns a matrix, or a list of ragged rows when
+        # seen-item exclusion truncated some user below k.
+        for ticket, row in zip(tickets, results):
+            ticket._resolve(row)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> GatewayStats:
+        """Snapshot the serving telemetry accumulated since start/reset."""
+        service = self._service
+        with self._stats_lock:
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+            histogram = dict(self._batch_histogram)
+            completed = self._completed
+            failed = self._failed
+            shed = dict(self._shed)
+            ticks = self._ticks
+            swaps = self._swaps
+            retired = self._retired_cache
+            window_start = self._window_start
+        window = 0.0 if window_start is None else max(self._clock() - window_start, 1e-9)
+        if latencies.size:
+            p50, p99 = np.percentile(latencies, [50, 99]) * 1000.0
+            worst = float(latencies.max() * 1000.0)
+        else:
+            p50 = p99 = worst = 0.0
+        dispatched = sum(size * count for size, count in histogram.items())
+        return GatewayStats(
+            completed=completed,
+            failed=failed,
+            shed_deadline=shed["deadline"],
+            shed_queue_full=shed["queue_full"],
+            shed_shutdown=shed["shutdown"],
+            ticks=ticks,
+            swaps=swaps,
+            qps=completed / window if window else 0.0,
+            latency_p50_ms=float(p50),
+            latency_p99_ms=float(p99),
+            latency_max_ms=worst,
+            mean_batch=dispatched / ticks if ticks else 0.0,
+            batch_histogram=histogram,
+            cache_hits=retired[0] + service.cache_hits,
+            cache_misses=retired[1] + service.cache_misses,
+            cold_hits=retired[2] + service.cold_hits,
+            window_seconds=window,
+        )
+
+    def reset_stats(self) -> None:
+        """Zero every counter and start a fresh QPS/latency window."""
+        with self._stats_lock:
+            self._latencies.clear()
+            self._batch_histogram.clear()
+            self._completed = 0
+            self._failed = 0
+            self._shed = {"deadline": 0, "queue_full": 0, "shutdown": 0}
+            self._ticks = 0
+            self._swaps = 0
+            self._retired_cache = (
+                -self._service.cache_hits,
+                -self._service.cache_misses,
+                -self._service.cold_hits,
+            )
+            self._window_start = None
+
+    def __repr__(self) -> str:
+        state = "running" if self._running else "stopped"
+        return (
+            f"ServingGateway({self._service!r}, {state}, "
+            f"max_batch={self.max_batch}, queue={len(self._queue)})"
+        )

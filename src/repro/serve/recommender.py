@@ -9,6 +9,7 @@ never trained on.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Union
@@ -22,6 +23,11 @@ from repro.models.base import top_k_ranked
 from repro.models.popularity import PopularityRecommender
 
 _EMPTY_ITEMS = np.empty(0, dtype=np.int64)
+
+#: Sentinel for :meth:`Recommender.reload` keyword arguments: "keep the
+#: current value" — distinct from ``None``, which is a meaningful value
+#: (no mask / no fallback).
+_KEEP = object()
 
 
 class Recommender:
@@ -55,32 +61,95 @@ class Recommender:
     ):
         if cache_size < 0:
             raise ValueError(f"cache_size must be non-negative, got {cache_size}")
-        if item_mask is not None:
-            item_mask = np.asarray(item_mask, dtype=bool)
-            if item_mask.shape != (int(model.num_items),):
-                raise ValueError(
-                    f"item_mask must have shape ({model.num_items},), "
-                    f"got {item_mask.shape}"
-                )
-        self._item_mask = item_mask
-        self.model = model
-        self.num_items = int(model.num_items)
-        self._seen: Dict[int, np.ndarray] = {
-            int(user): np.asarray(items, dtype=np.int64)
-            for user, items in (seen_items or {}).items()
-        }
-        self._known_users = set(self._seen) if seen_items is not None else None
-        if popularity is not None:
-            # The cold-start path *is* the popularity baseline model; its
-            # normalized score vector doubles as the fallback score row.
-            model_fallback = PopularityRecommender(num_users=1, num_items=self.num_items)
-            popularity = model_fallback.fit(popularity).score_all_items(0)
-        self._popularity = popularity
+        # The LRU cache and its counters are shared mutable state; the
+        # threaded gateway queries one facade from several client threads,
+        # so every cache/counter touch happens under this lock.  (Scoring
+        # itself is read-only over the model snapshot.)
+        self._lock = threading.RLock()
         self.cache_size = cache_size
         self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
         self.cold_hits = 0
+        self._seen: Dict[int, np.ndarray] = {}
+        self._known_users = None
+        self._popularity = None
+        self._item_mask = None
+        self.reload(
+            model,
+            seen_items=seen_items if seen_items is not None else _KEEP,
+            popularity=popularity,
+            item_mask=item_mask,
+        )
+
+    def reload(
+        self,
+        model: Optional[RecommenderModel] = None,
+        seen_items=_KEEP,
+        popularity=_KEEP,
+        item_mask=_KEEP,
+    ) -> "Recommender":
+        """Swap in new serving state, invalidating exactly what changed.
+
+        ``clear_cache()`` alone is not enough after a model swap: the
+        popularity fallback row and the servable-item mask are memoised
+        against the *old* catalogue, and a stale fallback would keep
+        answering cold users from the retired model's world.  ``reload``
+        is the one mutation path — pass only what changed:
+
+        * ``model`` — replaces the served model and drops every cached
+          score row (they were computed by the old model);
+        * ``seen_items`` — replaces the seen/known-user tables (pass when
+          the interaction log advanced alongside the model);
+        * ``popularity`` — raw per-item counts; the cold-start fallback
+          row is rebuilt against the *current* catalogue size (``None``
+          removes the fallback);
+        * ``item_mask`` — replaces the servable-catalogue mask (``None``
+          unmasks everything).
+
+        Arguments left at their defaults keep the current value.  All
+        mutations happen atomically under the service lock, and the method
+        returns ``self`` so construction helpers can chain it.
+        """
+        with self._lock:
+            num_items = int(model.num_items) if model is not None else self.num_items
+            if item_mask is not _KEEP and item_mask is not None:
+                item_mask = np.asarray(item_mask, dtype=bool)
+            if popularity is not _KEEP and popularity is not None:
+                # The cold-start path *is* the popularity baseline model;
+                # its normalized score vector doubles as the fallback row.
+                fallback = PopularityRecommender(num_users=1, num_items=num_items)
+                popularity = fallback.fit(popularity).score_all_items(0)
+            # Cross-validate against the (new) catalogue *before* mutating
+            # anything: a fallback row or mask sized for the old model must
+            # be replaced in the same reload, never silently kept — and a
+            # rejected reload must leave the live service untouched.
+            new_mask = self._item_mask if item_mask is _KEEP else item_mask
+            if new_mask is not None and new_mask.shape != (num_items,):
+                raise ValueError(
+                    f"item_mask must have shape ({num_items},), got {new_mask.shape}"
+                )
+            new_popularity = self._popularity if popularity is _KEEP else popularity
+            if new_popularity is not None and new_popularity.shape != (num_items,):
+                raise ValueError(
+                    f"popularity fallback covers {new_popularity.shape[0]} items "
+                    f"but the served model has {num_items}; pass popularity= "
+                    "to reload alongside the model"
+                )
+            if model is not None:
+                self.model = model
+                self.num_items = num_items
+                # Every cached row came from the retired model snapshot.
+                self._cache.clear()
+            if seen_items is not _KEEP:
+                self._seen = {
+                    int(user): np.asarray(items, dtype=np.int64)
+                    for user, items in (seen_items or {}).items()
+                }
+                self._known_users = set(self._seen) if seen_items is not None else None
+            self._popularity = new_popularity
+            self._item_mask = new_mask
+        return self
 
     # ------------------------------------------------------------------
     # Construction from artifacts
@@ -91,12 +160,19 @@ class Recommender:
         path: Union[str, Path],
         dataset: Optional[InteractionDataset] = None,
         cache_size: int = 256,
+        into: Optional["Recommender"] = None,
     ) -> "Recommender":
         """Build the service from a :func:`repro.artifacts.save_checkpoint` artifact.
 
         The artifact is self-contained: the model is restored through the
         trainer registry (PTF-FedRec serves its hidden server model) and
         the embedded dataset supplies seen items and item popularity.
+
+        ``into`` reloads an *existing* service in place (via
+        :meth:`reload`) instead of constructing a new one — the
+        swap-after-further-training path: the model, seen items,
+        popularity fallback and item mask are all replaced together, and
+        only the invalidated state (the score cache) is dropped.
         """
         from repro.artifacts import load_checkpoint
 
@@ -104,7 +180,7 @@ class Recommender:
         if dataset is None:
             dataset = checkpoint.dataset()
         adapter = checkpoint.restore(dataset)
-        return cls.from_trainer(adapter, dataset, cache_size=cache_size)
+        return cls.from_trainer(adapter, dataset, cache_size=cache_size, into=into)
 
     @classmethod
     def from_trainer(
@@ -112,6 +188,7 @@ class Recommender:
         trainer,
         dataset: InteractionDataset,
         cache_size: int = 256,
+        into: Optional["Recommender"] = None,
     ) -> "Recommender":
         """Build the service from a (trained) trainer adapter in memory.
 
@@ -139,6 +216,13 @@ class Recommender:
                 user: items for user, items in seen_items.items() if user in arrived
             }
             item_mask = engine.arrived_item_mask(horizon)
+        if into is not None:
+            return into.reload(
+                trainer.serving_model(),
+                seen_items=seen_items,
+                popularity=dataset.item_popularity(),
+                item_mask=item_mask,
+            )
         return cls(
             model=trainer.serving_model(),
             seen_items=seen_items,
@@ -177,7 +261,8 @@ class Recommender:
                         f"user {user} is unknown to the served model and no "
                         "popularity fallback was configured"
                     )
-                self.cold_hits += 1
+                with self._lock:
+                    self.cold_hits += 1
                 rows[user] = self._popularity
                 continue
             cached = self._cache_get(user)
@@ -193,27 +278,37 @@ class Recommender:
         return np.stack([rows[int(user)] for user in users])
 
     def _cache_get(self, user: int) -> Optional[np.ndarray]:
-        row = self._cache.get(user)
-        if row is None:
-            self.cache_misses += 1
-            return None
-        self._cache.move_to_end(user)
-        self.cache_hits += 1
-        return row
+        # OrderedDict mutation (move_to_end, eviction) is not atomic;
+        # unsynchronized concurrent readers can corrupt the linked list or
+        # double-evict, so every touch serializes on the service lock.
+        with self._lock:
+            row = self._cache.get(user)
+            if row is None:
+                self.cache_misses += 1
+                return None
+            self._cache.move_to_end(user)
+            self.cache_hits += 1
+            return row
 
     def _cache_put(self, user: int, row: np.ndarray) -> None:
         if self.cache_size == 0:
             return
-        # Copy: ``row`` is a view into the cohort's full score matrix, and
-        # caching the view would pin the whole matrix in memory.
-        self._cache[user] = row.copy()
-        self._cache.move_to_end(user)
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+        with self._lock:
+            # Copy: ``row`` is a view into the cohort's full score matrix,
+            # and caching the view would pin the whole matrix in memory.
+            self._cache[user] = row.copy()
+            self._cache.move_to_end(user)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
 
     def clear_cache(self) -> None:
-        """Drop every cached score row (after further training, say)."""
-        self._cache.clear()
+        """Drop every cached score row (after further training, say).
+
+        Score rows only — a *model swap* also leaves the popularity
+        fallback and the item mask stale; use :meth:`reload` for that.
+        """
+        with self._lock:
+            self._cache.clear()
 
     # ------------------------------------------------------------------
     # Queries

@@ -303,3 +303,84 @@ class TestPTFConfigDeprecationContract:
             warnings.simplefilter("error", DeprecationWarning)
             with pytest.raises(DeprecationWarning):
                 PTFConfig()
+
+
+# ----------------------------------------------------------------------
+# Torn-read safety of the background load path (serving hot swap)
+# ----------------------------------------------------------------------
+class TestLoadDuringRewrite:
+    """load_checkpoint vs a concurrent save_checkpoint to the same path.
+
+    The gateway's hot swap loads ``latest/`` while a trainer may be
+    rewriting it; the loader must never pair one version's manifest with
+    another version's arrays, and must ride out the instant between the
+    directory renames where the path does not exist.
+    """
+
+    def _two_versions(self, tiny_dataset, tmp_path):
+        spec = tiny_spec("fcf")
+        adapter = create_trainer(spec.replace(rounds=1), tiny_dataset)
+        adapter.fit()
+        save_checkpoint(tmp_path / "ck", adapter, spec=spec.replace(rounds=1))
+        old_text = (tmp_path / "ck" / "manifest.json").read_text(encoding="utf-8")
+        adapter.fit(rounds=1)  # train one more round, rewrite in place
+        save_checkpoint(tmp_path / "ck", adapter, spec=spec.replace(rounds=2))
+        new_text = (tmp_path / "ck" / "manifest.json").read_text(encoding="utf-8")
+        assert old_text != new_text
+        return old_text, new_text
+
+    def test_stale_manifest_restarts_from_fresh_one(
+        self, tiny_dataset, tmp_path, monkeypatch
+    ):
+        from repro.artifacts import checkpoint as checkpoint_module
+
+        old_text, new_text = self._two_versions(tiny_dataset, tmp_path)
+        real_read = checkpoint_module._read_manifest_text
+        calls = {"n": 0}
+
+        def stale_first(path):
+            calls["n"] += 1
+            if calls["n"] == 1:  # the read that raced the rewrite
+                return old_text
+            return real_read(path)
+
+        monkeypatch.setattr(checkpoint_module, "_read_manifest_text", stale_first)
+        loaded = load_checkpoint(tmp_path / "ck")
+        # The load restarted and returned the *new* artifact consistently.
+        assert loaded.rounds_completed == 2
+        assert calls["n"] >= 2
+
+    def test_transiently_missing_path_is_retried(
+        self, tiny_dataset, tmp_path, monkeypatch
+    ):
+        from repro.artifacts import checkpoint as checkpoint_module
+
+        self._two_versions(tiny_dataset, tmp_path)
+        real_read = checkpoint_module._read_manifest_text
+        calls = {"n": 0}
+
+        def vanishes_once(path):
+            calls["n"] += 1
+            if calls["n"] == 2:  # mid-swap: old parked, new not yet renamed
+                raise FileNotFoundError("mid-swap window")
+            return real_read(path)
+
+        monkeypatch.setattr(checkpoint_module, "_read_manifest_text", vanishes_once)
+        assert load_checkpoint(tmp_path / "ck").rounds_completed == 2
+
+    def test_endless_rewrites_raise_instead_of_looping(
+        self, tiny_dataset, tmp_path, monkeypatch
+    ):
+        from repro.artifacts import checkpoint as checkpoint_module
+
+        old_text, new_text = self._two_versions(tiny_dataset, tmp_path)
+        texts = [old_text, new_text]
+        calls = {"n": 0}
+
+        def flapping(path):
+            calls["n"] += 1
+            return texts[calls["n"] % 2]
+
+        monkeypatch.setattr(checkpoint_module, "_read_manifest_text", flapping)
+        with pytest.raises(RuntimeError, match="kept changing"):
+            load_checkpoint(tmp_path / "ck")

@@ -226,6 +226,102 @@ class TestScoreCache:
         assert service.cache_misses == 2
 
 
+class TestReload:
+    """reload() invalidates exactly what changed — the model-swap path."""
+
+    def test_model_swap_drops_cache_and_keeps_counters(self, trained, tiny_dataset):
+        adapter, service = trained
+        service.scores([0, 1])
+        assert service.cache_misses == 2
+        retrained = create_trainer(served_spec(rounds=4), tiny_dataset).fit()
+        service.reload(retrained.serving_model())
+        # Cached rows belonged to the old model: the next query recomputes.
+        rows = service.scores([0, 1])
+        assert service.cache_misses == 4
+        np.testing.assert_array_equal(
+            rows, Recommender.from_trainer(retrained, tiny_dataset).scores([0, 1])
+        )
+        # Lifetime counters survive the swap (they describe the service).
+        assert service.cache_hits == 0
+
+    def test_clear_cache_alone_leaves_fallback_stale(self, trained, tiny_dataset):
+        """The regression reload() exists for: after a swap, the popularity
+        fallback row is memoised against the *old* artifact, and
+        clear_cache() does not touch it."""
+        _, service = trained
+        stale_cold = service.scores([10_000])[0]
+        service.clear_cache()
+        np.testing.assert_array_equal(service.scores([10_000])[0], stale_cold)
+        flipped = tiny_dataset.item_popularity()[::-1].copy()
+        service.reload(popularity=flipped)
+        reference = PopularityRecommender(1, tiny_dataset.num_items)
+        reference.fit(flipped)
+        np.testing.assert_array_equal(
+            service.scores([10_000])[0], reference.score_all_items(0)
+        )
+
+    def test_reload_replaces_item_mask(self, trained):
+        _, service = trained
+        mask = np.zeros(service.num_items, dtype=bool)
+        mask[:5] = True
+        service.reload(item_mask=mask)
+        assert set(service.recommend(0, k=5, exclude_seen=False).tolist()) <= set(range(5))
+        service.reload(item_mask=None)  # None is meaningful: unmask everything
+        assert len(service.recommend(0, k=service.num_items, exclude_seen=False)) \
+            == service.num_items
+
+    def test_rejected_reload_leaves_service_untouched(self, trained):
+        _, service = trained
+        before = service.recommend(0, k=5)
+        with pytest.raises(ValueError, match="item_mask"):
+            service.reload(item_mask=np.ones(service.num_items + 1, dtype=bool))
+        np.testing.assert_array_equal(service.recommend(0, k=5), before)
+
+    def test_from_trainer_into_reloads_in_place(self, trained, tiny_dataset):
+        adapter, service = trained
+        retrained = create_trainer(served_spec(rounds=4), tiny_dataset).fit()
+        reloaded = Recommender.from_trainer(retrained, tiny_dataset, into=service)
+        assert reloaded is service
+        fresh = Recommender.from_trainer(retrained, tiny_dataset)
+        users = tiny_dataset.users[:10]
+        np.testing.assert_array_equal(
+            service.recommend(users, k=10), fresh.recommend(users, k=10)
+        )
+
+
+class TestCacheThreadSafety:
+    def test_concurrent_queries_keep_cache_consistent(self, trained, tiny_dataset):
+        """Hammer one facade from many threads; the OrderedDict LRU must
+        neither corrupt nor miscount (regression: unguarded move_to_end /
+        eviction under the threaded gateway)."""
+        import threading
+
+        adapter, _ = trained
+        service = Recommender.from_trainer(adapter, tiny_dataset, cache_size=8)
+        users = tiny_dataset.users
+        errors = []
+
+        def worker(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(200):
+                    user = int(users[rng.integers(len(users))])
+                    row = service.scores([user])[0]
+                    assert row.shape == (service.num_items,)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(seed,)) for seed in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(service._cache) <= 8
+        # Every lookup was tallied exactly once, under the lock.
+        assert service.cache_hits + service.cache_misses == 8 * 200
+
+
 class TestFromCheckpoint:
     def test_checkpoint_and_in_memory_services_agree(self, tiny_dataset, tmp_path):
         spec = served_spec()

@@ -1,0 +1,471 @@
+"""Deterministic concurrency suite for ``repro.serve.gateway``.
+
+The gateway's contracts, each pinned here reproducibly:
+
+* **Identity** — a tick's fanned-out results are bit-identical (``==``)
+  to the direct batched ``Recommender`` call on the coalesced cohort, for
+  every servable architecture (MF/MetaMF/NGCF/LightGCN closed forms and
+  the NeuMF all-pairs fallback), and each request's ranked top-k equals
+  its own direct per-user query.  The suite runs unchanged under both
+  tensor backends (``REPRO_BACKEND=numpy32`` in CI).
+* **Hot swap** — a request is answered entirely by the old model or
+  entirely by the new one, never a torn mix, whether the swap lands
+  between manual ticks or mid-flight under real threaded traffic.
+* **SLO shedding** — with an injected fake clock, the shed/served pattern
+  of a fixed-seed arrival replay is exactly reproducible, and overflow
+  beyond the bounded queue is rejected immediately.
+
+The deterministic tests drive the gateway in manual-tick mode (no
+dispatcher thread): ``submit()`` + ``run_tick()`` make cohort composition
+part of the test inputs instead of a scheduling accident.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.artifacts import CheckpointEveryK
+from repro.experiments import ExperimentSpec, create_trainer
+from repro.serve import GatewayStats, Recommender, Rejected, ServingGateway
+
+TOP_K = 10
+
+#: Same coverage matrix as tests/test_serve.py: every closed form plus
+#: the flat all-pairs fallback.
+SERVABLE = [
+    ("ptf", {"server_model": "ngcf"}),
+    ("ptf", {"server_model": "lightgcn"}),
+    ("fcf", {}),
+    ("metamf", {}),
+    ("centralized", {"server_model": "neumf"}),
+    ("centralized", {"server_model": "mf"}),
+]
+
+
+def served_spec(trainer: str = "fcf", **overrides) -> ExperimentSpec:
+    base = dict(
+        trainer=trainer,
+        seed=29,
+        embedding_dim=8,
+        rounds=2,
+        client_local_epochs=1,
+        server_epochs=1,
+        alpha=10,
+    )
+    base.update(overrides)
+    trainer = base.pop("trainer")
+    seed = base.pop("seed")
+    return ExperimentSpec.from_flat(trainer=trainer, seed=seed, **base)
+
+
+class FakeClock:
+    """A manually advanced clock for deterministic deadline arithmetic."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def trained(tiny_dataset):
+    adapter = create_trainer(served_spec(), tiny_dataset).fit()
+    return adapter, tiny_dataset
+
+
+def twin_services(adapter, dataset):
+    """Two independently built, identical facades: one gated, one direct."""
+    gated = Recommender.from_trainer(adapter, dataset)
+    direct = Recommender.from_trainer(adapter, dataset)
+    return gated, direct
+
+
+# ----------------------------------------------------------------------
+# Identity: gateway fan-out == the direct batched call, all models
+# ----------------------------------------------------------------------
+class TestBatchedIdentity:
+    @pytest.mark.parametrize("trainer,overrides", SERVABLE)
+    def test_replay_matches_direct_batched_calls(
+        self, trainer, overrides, tiny_dataset
+    ):
+        """Fixed-seed replay: every tick's results ``==`` the direct
+        ``Recommender`` call on that tick's coalesced cohort."""
+        adapter = create_trainer(served_spec(trainer, **overrides), tiny_dataset).fit()
+        gated, direct = twin_services(adapter, tiny_dataset)
+        gateway = ServingGateway(gated, max_batch=16)
+        rng = np.random.default_rng(97)
+        users = np.asarray(tiny_dataset.users, dtype=np.int64)
+        for wave in range(6):
+            kind = "scores" if wave % 2 else "recommend"
+            cohort = rng.choice(users, size=int(rng.integers(2, 9)), replace=True)
+            tickets = [gateway.submit(int(u), k=TOP_K, kind=kind) for u in cohort]
+            assert gateway.run_tick() == len(tickets)
+            # Replay the identical cohort through the ungated facade —
+            # micro-batching must be invisible down to the last bit.
+            if kind == "scores":
+                reference = direct.scores(cohort)
+            else:
+                reference = direct.recommend(cohort, k=TOP_K)
+            for ticket, expected in zip(tickets, reference):
+                np.testing.assert_array_equal(ticket.result(timeout=1), expected)
+
+    @pytest.mark.parametrize("trainer,overrides", SERVABLE)
+    def test_per_request_topk_matches_direct_per_user_query(
+        self, trainer, overrides, tiny_dataset
+    ):
+        """Each request's ranked ids equal its own direct single-user query."""
+        adapter = create_trainer(served_spec(trainer, **overrides), tiny_dataset).fit()
+        gated, direct = twin_services(adapter, tiny_dataset)
+        gateway = ServingGateway(gated, max_batch=8)
+        cohort = tiny_dataset.users[:8]
+        tickets = [gateway.submit(user, k=TOP_K) for user in cohort]
+        gateway.run_tick()
+        for ticket, user in zip(tickets, cohort):
+            np.testing.assert_array_equal(
+                ticket.result(timeout=1), direct.recommend(user, k=TOP_K)
+            )
+
+    def test_mixed_k_and_exclusion_groups_in_one_tick(self, trained):
+        adapter, dataset = trained
+        gated, direct = twin_services(adapter, dataset)
+        gateway = ServingGateway(gated, max_batch=16)
+        a = [gateway.submit(user, k=5) for user in dataset.users[:3]]
+        b = [gateway.submit(user, k=7, exclude_seen=False) for user in dataset.users[3:6]]
+        gateway.run_tick()
+        ref_a = direct.recommend(np.asarray(dataset.users[:3]), k=5)
+        ref_b = direct.recommend(
+            np.asarray(dataset.users[3:6]), k=7, exclude_seen=False
+        )
+        for ticket, expected in zip(a, ref_a):
+            np.testing.assert_array_equal(ticket.result(timeout=1), expected)
+        for ticket, expected in zip(b, ref_b):
+            np.testing.assert_array_equal(ticket.result(timeout=1), expected)
+
+    def test_threaded_traffic_matches_direct_queries(self, trained):
+        """Real dispatcher, many client threads: ranked answers still equal
+        the direct per-user queries (cohort composition is scheduling-
+        dependent, ranked ids must not be)."""
+        adapter, dataset = trained
+        gated, direct = twin_services(adapter, dataset)
+        expected = {
+            user: direct.recommend(user, k=TOP_K) for user in dataset.users
+        }
+        results: dict = {}
+        errors: list = []
+
+        def client(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(25):
+                    user = int(dataset.users[rng.integers(len(dataset.users))])
+                    results[(seed, user)] = (user, gateway.recommend(user, k=TOP_K))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        with ServingGateway(gated, max_batch=16, max_wait_ms=1.0) as gateway:
+            threads = [threading.Thread(target=client, args=(seed,)) for seed in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        assert results
+        for user, ranked in results.values():
+            np.testing.assert_array_equal(ranked, expected[user])
+
+
+# ----------------------------------------------------------------------
+# Hot swap: zero downtime, no torn reads
+# ----------------------------------------------------------------------
+@pytest.fixture
+def two_checkpoints(tiny_dataset, tmp_path):
+    """The same run checkpointed early (v1) and further-trained (v2)."""
+    spec = served_spec(rounds=2)
+    repro.run(spec, tiny_dataset,
+              callbacks=[CheckpointEveryK(tmp_path / "v1", every=2)])
+    repro.run(spec.replace(rounds=6), tiny_dataset,
+              resume_from=tmp_path / "v1" / "latest",
+              callbacks=[CheckpointEveryK(tmp_path / "v2", every=6)])
+    return tmp_path / "v1" / "latest", tmp_path / "v2" / "latest"
+
+
+class TestHotSwap:
+    def test_swap_between_ticks_is_exact(self, tiny_dataset, two_checkpoints):
+        path_v1, path_v2 = two_checkpoints
+        direct_v1 = Recommender.from_checkpoint(path_v1)
+        direct_v2 = Recommender.from_checkpoint(path_v2)
+        gateway = ServingGateway.from_checkpoint(path_v1, max_batch=8)
+        cohort = np.asarray(tiny_dataset.users[:6], dtype=np.int64)
+
+        before = [gateway.submit(int(u), kind="scores") for u in cohort]
+        gateway.run_tick()
+        for ticket, expected in zip(before, direct_v1.scores(cohort)):
+            np.testing.assert_array_equal(ticket.result(timeout=1), expected)
+
+        # Requests already queued *before* the swap resolves are answered
+        # by whichever snapshot their tick runs under — never a mix.
+        queued = [gateway.submit(int(u), kind="scores") for u in cohort]
+        gateway.swap(path_v2, block=True)
+        gateway.run_tick()
+        for ticket, expected in zip(queued, direct_v2.scores(cohort)):
+            np.testing.assert_array_equal(ticket.result(timeout=1), expected)
+        assert gateway.stats().swaps == 1
+
+    def test_swap_mid_threaded_traffic_no_torn_reads(
+        self, tiny_dataset, two_checkpoints
+    ):
+        path_v1, path_v2 = two_checkpoints
+        direct_v1 = Recommender.from_checkpoint(path_v1)
+        direct_v2 = Recommender.from_checkpoint(path_v2)
+        users = list(tiny_dataset.users)
+        old = {u: direct_v1.recommend(u, k=TOP_K) for u in users}
+        new = {u: direct_v2.recommend(u, k=TOP_K) for u in users}
+        # Precondition: the extra training rounds changed some answers,
+        # otherwise a torn read would be undetectable.
+        changed = [u for u in users if not np.array_equal(old[u], new[u])]
+        assert changed, "further training did not change any top-k list"
+
+        outcomes: list = []
+        errors: list = []
+
+        def client(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(40):
+                    user = int(users[rng.integers(len(users))])
+                    outcomes.append((user, gateway.recommend(user, k=TOP_K)))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        with ServingGateway.from_checkpoint(
+            path_v1, max_batch=8, max_wait_ms=0.5
+        ) as gateway:
+            threads = [threading.Thread(target=client, args=(seed,)) for seed in range(4)]
+            for thread in threads:
+                thread.start()
+            gateway.swap(path_v2, block=True)
+            post_swap = {u: gateway.recommend(u, k=TOP_K) for u in users[:5]}
+            for thread in threads:
+                thread.join()
+        assert not errors
+        for user, ranked in outcomes:
+            assert np.array_equal(ranked, old[user]) or np.array_equal(
+                ranked, new[user]
+            ), f"user {user}: result matches neither the old nor the new model"
+        # After the flip, answers come from the new model only.
+        for user, ranked in post_swap.items():
+            np.testing.assert_array_equal(ranked, new[user])
+
+    def test_swap_retires_cache_and_counts(self, tiny_dataset, two_checkpoints):
+        path_v1, path_v2 = two_checkpoints
+        gateway = ServingGateway.from_checkpoint(path_v1, max_batch=8)
+        tickets = [gateway.submit(u) for u in tiny_dataset.users[:4]]
+        gateway.run_tick()
+        tickets += [gateway.submit(u) for u in tiny_dataset.users[:4]]
+        gateway.run_tick()  # second tick: same users now hit the LRU
+        assert all(t.done() for t in tickets)
+        warm = gateway.stats()
+        assert warm.cache_misses == 4 and warm.cache_hits == 4
+        gateway.swap(path_v2, block=True)
+        assert len(gateway.service._cache) == 0  # new service, cold cache
+        gateway.submit(tiny_dataset.users[0])
+        gateway.run_tick()
+        after = gateway.stats()
+        # Retired counters are preserved across the flip, new misses accrue.
+        assert after.cache_hits == 4 and after.cache_misses == 5
+        assert after.swaps == 1
+
+    def test_swap_loader_error_propagates(self, trained, tmp_path):
+        adapter, dataset = trained
+        gateway = ServingGateway(Recommender.from_trainer(adapter, dataset))
+        with pytest.raises(FileNotFoundError):
+            gateway.swap(tmp_path / "does-not-exist", block=True)
+        assert gateway.stats().swaps == 0
+
+
+# ----------------------------------------------------------------------
+# SLOs: deterministic shedding under a seeded clock, bounded queue
+# ----------------------------------------------------------------------
+def _replay_shed_pattern(service: Recommender, seed: int) -> list:
+    """One fixed-seed overload replay; returns the per-request outcome."""
+    clock = FakeClock()
+    gateway = ServingGateway(
+        service, max_batch=4, deadline_ms=20.0, max_queue=64, clock=clock
+    )
+    rng = np.random.default_rng(seed)
+    outcomes = []
+    tickets = []
+    for step in range(30):
+        clock.advance(float(rng.exponential(0.004)))
+        tickets.append(gateway.submit(int(rng.integers(0, 20)), k=5))
+        if step % 5 == 4:
+            # An overloaded tick: scoring this batch "takes" 15 ms.
+            clock.advance(0.015)
+            gateway.run_tick()
+    while gateway.queue_depth:
+        clock.advance(0.015)
+        gateway.run_tick()
+    for ticket in tickets:
+        result = ticket.result(timeout=1)
+        outcomes.append(result.reason if isinstance(result, Rejected) else "served")
+    return outcomes
+
+
+class TestSLOShedding:
+    def test_seeded_overload_replay_is_reproducible(self, trained):
+        adapter, dataset = trained
+        first = _replay_shed_pattern(Recommender.from_trainer(adapter, dataset), seed=5)
+        second = _replay_shed_pattern(Recommender.from_trainer(adapter, dataset), seed=5)
+        assert first == second
+        assert "deadline" in first and "served" in first, (
+            f"replay must exercise both outcomes, got {set(first)}"
+        )
+
+    def test_expired_requests_shed_before_scoring(self, trained):
+        adapter, dataset = trained
+        clock = FakeClock()
+        gateway = ServingGateway(
+            Recommender.from_trainer(adapter, dataset),
+            max_batch=8, deadline_ms=10.0, clock=clock,
+        )
+        stale = gateway.submit(0, k=5)
+        fresh_enough = gateway.submit(1, k=5, deadline_ms=100.0)  # per-request SLO
+        clock.advance(0.05)
+        gateway.run_tick()
+        rejected = stale.result(timeout=1)
+        assert isinstance(rejected, Rejected)
+        assert (rejected.reason, rejected.status) == ("deadline", 503)
+        assert not rejected  # sheds are falsy results
+        assert isinstance(fresh_enough.result(timeout=1), np.ndarray)
+        stats = gateway.stats()
+        assert stats.shed_deadline == 1 and stats.completed == 1
+
+    def test_bounded_queue_rejects_overflow_immediately(self, trained):
+        adapter, dataset = trained
+        gateway = ServingGateway(
+            Recommender.from_trainer(adapter, dataset), max_batch=4, max_queue=4
+        )
+        accepted = [gateway.submit(user, k=5) for user in range(4)]
+        overflow = [gateway.submit(user, k=5) for user in range(4, 7)]
+        for ticket in overflow:  # resolved without waiting for any tick
+            assert ticket.done()
+            result = ticket.result()
+            assert isinstance(result, Rejected) and result.reason == "queue_full"
+        gateway.run_tick()
+        assert all(isinstance(t.result(timeout=1), np.ndarray) for t in accepted)
+        assert gateway.stats().shed_queue_full == 3
+
+    def test_stop_sheds_queued_requests_as_shutdown(self, trained):
+        adapter, dataset = trained
+        gateway = ServingGateway(Recommender.from_trainer(adapter, dataset))
+        pending = gateway.submit(0, k=5)
+        gateway.stop()
+        result = pending.result(timeout=1)
+        assert isinstance(result, Rejected) and result.reason == "shutdown"
+
+
+# ----------------------------------------------------------------------
+# Telemetry and plumbing
+# ----------------------------------------------------------------------
+class TestGatewayStats:
+    def test_snapshot_accounts_for_every_request(self, trained):
+        adapter, dataset = trained
+        gateway = ServingGateway(
+            Recommender.from_trainer(adapter, dataset), max_batch=4
+        )
+        for user in range(10):
+            gateway.submit(user % 5, k=5)
+        while gateway.queue_depth:
+            gateway.run_tick()
+        stats = gateway.stats()
+        assert isinstance(stats, GatewayStats)
+        assert stats.completed == 10
+        assert sum(size * n for size, n in stats.batch_histogram.items()) == 10
+        assert max(stats.batch_histogram) <= 4
+        assert stats.ticks == sum(stats.batch_histogram.values())
+        assert stats.latency_p50_ms <= stats.latency_p99_ms <= stats.latency_max_ms
+        assert stats.qps > 0
+
+    def test_to_dict_is_json_ready(self, trained):
+        adapter, dataset = trained
+        gateway = ServingGateway(Recommender.from_trainer(adapter, dataset))
+        gateway.submit(0, k=5)
+        gateway.run_tick()
+        payload = json.loads(json.dumps(gateway.stats().to_dict()))
+        assert payload["completed"] == 1
+        assert payload["shed"] == {"deadline": 0, "queue_full": 0, "shutdown": 0}
+        assert set(payload["latency_ms"]) == {"p50", "p99", "max"}
+
+    def test_reset_stats_opens_a_fresh_window(self, trained):
+        adapter, dataset = trained
+        gateway = ServingGateway(Recommender.from_trainer(adapter, dataset))
+        gateway.submit(0, k=5)
+        gateway.run_tick()
+        gateway.reset_stats()
+        stats = gateway.stats()
+        assert stats.completed == 0 and stats.ticks == 0
+        assert stats.cache_hits == 0 and stats.cache_misses == 0
+
+
+class TestPlumbing:
+    def test_blocking_helpers_require_a_dispatcher(self, trained):
+        adapter, dataset = trained
+        gateway = ServingGateway(Recommender.from_trainer(adapter, dataset))
+        with pytest.raises(RuntimeError, match="not running"):
+            gateway.recommend(0, k=5)
+
+    def test_run_tick_refuses_while_dispatcher_runs(self, trained):
+        adapter, dataset = trained
+        with ServingGateway(Recommender.from_trainer(adapter, dataset)) as gateway:
+            with pytest.raises(RuntimeError, match="dispatcher"):
+                gateway.run_tick()
+
+    def test_invalid_arguments_raise_in_the_callers_thread(self, trained):
+        adapter, dataset = trained
+        gateway = ServingGateway(Recommender.from_trainer(adapter, dataset))
+        with pytest.raises(ValueError, match="k must be positive"):
+            gateway.submit(0, k=0)
+        with pytest.raises(ValueError, match="kind"):
+            gateway.submit(0, kind="explain")
+        with pytest.raises(ValueError, match="max_batch"):
+            ServingGateway(Recommender.from_trainer(adapter, dataset), max_batch=0)
+
+    def test_scoring_error_fails_only_that_group(self, trained):
+        adapter, dataset = trained
+        bare = Recommender(adapter.serving_model())  # no cold-start fallback
+        gateway = ServingGateway(bare, max_batch=8)
+        doomed = gateway.submit(10_000, kind="scores")
+        survivor = gateway.submit(0, k=5)
+        gateway.run_tick()
+        with pytest.raises(IndexError, match="unknown"):
+            doomed.result(timeout=1)
+        assert isinstance(survivor.result(timeout=1), np.ndarray)
+        stats = gateway.stats()
+        assert stats.failed == 1 and stats.completed == 1
+        # The gateway stays serviceable after a failed group.
+        next_ok = gateway.submit(1, k=5)
+        gateway.run_tick()
+        assert isinstance(next_ok.result(timeout=1), np.ndarray)
+
+    def test_ragged_truncated_lists_fan_out_correctly(self, trained):
+        """Users with fewer than k unseen candidates get truncated lists
+        through the gateway exactly as through the facade."""
+        adapter, dataset = trained
+        gated, direct = twin_services(adapter, dataset)
+        gateway = ServingGateway(gated, max_batch=8)
+        k = dataset.num_items  # forces truncation for every user with seen items
+        cohort = dataset.users[:4]
+        tickets = [gateway.submit(user, k=k) for user in cohort]
+        gateway.run_tick()
+        reference = direct.recommend(np.asarray(cohort), k=k)
+        for ticket, expected in zip(tickets, reference):
+            np.testing.assert_array_equal(ticket.result(timeout=1), expected)
