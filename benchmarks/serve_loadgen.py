@@ -52,7 +52,7 @@ import numpy as np
 from repro.data import debug_dataset
 from repro.federated.metamf import MetaMFModel
 from repro.serve import Recommender, Rejected, ServingGateway
-from repro.utils import RngFactory
+from repro.utils import RngFactory, seeded_rng
 
 SEED = 2024
 NUM_USERS = 10_000
@@ -151,7 +151,7 @@ def per_request_baseline(
     seed: int = SEED,
 ) -> LoadReport:
     """The naive deployment: one direct facade call per request."""
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     users = rng.integers(0, user_pool, size=num_requests)
     latencies: List[float] = []
     started = time.perf_counter()
@@ -177,7 +177,7 @@ def closed_loop(
     rejections = [0] * concurrency
 
     def client(index: int) -> None:
-        rng = np.random.default_rng(seed + index)
+        rng = seeded_rng(seed + index)
         latencies = all_latencies[index]
         for _ in range(per_client):
             user = int(rng.integers(0, user_pool))
@@ -218,7 +218,7 @@ def open_loop(
     and the client-side latencies are honest (reaping after the submit
     phase would charge early requests the whole submission window).
     """
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     tickets: List[tuple] = []
     latencies: List[float] = []
     rejected = [0]

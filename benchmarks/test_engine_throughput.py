@@ -28,7 +28,7 @@ from conftest import SEED, print_table
 from repro.core.client import PTFClient
 from repro.engine import EngineSpec, create_scheduler
 from repro.experiments import ExperimentSpec
-from repro.utils import RngFactory
+from repro.utils import RngFactory, seeded_rng
 
 COHORT_SIZES = (50, 200, 800)
 ASSERTED_COHORT = 200
@@ -51,7 +51,7 @@ def _client_spec() -> ExperimentSpec:
 
 def _build_clients(num_clients: int, spec: ExperimentSpec):
     rngs = RngFactory(spec.seed)
-    rng = np.random.default_rng(123)
+    rng = seeded_rng(123)
     return {
         user: PTFClient(
             user_id=user,

@@ -1,0 +1,54 @@
+"""``repro.analysis`` — the AST-based invariant linter.
+
+Every speedup in this repository is sold on a ``==`` bit-identity
+contract with the paper's serial reference; that contract rests on
+conventions no unit test checks directly: keyed RNG streams only, no raw
+numpy in backend-dispatched code, lock-guarded shared state in the
+serving layer, no float accumulation over unordered iteration, and
+round-trippable ``state_dict`` pairs.  This package machine-checks them::
+
+    PYTHONPATH=src python -m repro.analysis src tests benchmarks
+
+Exit codes are stable: ``0`` clean (modulo the checked-in baseline),
+``1`` new findings, ``2`` usage/configuration error.  See
+``docs/conventions.md`` for the invariants, the
+``# repro: disable=<rule> -- <justification>`` suppression syntax, and
+how to add a rule.
+
+The package is import-light on purpose (stdlib only): the CI
+``static-analysis`` job can lint the tree even when the numerical stack
+is broken.
+"""
+
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    classify_role,
+    get_rules,
+    register,
+)
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "apply_baseline",
+    "classify_role",
+    "get_rules",
+    "load_baseline",
+    "register",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]

@@ -1,0 +1,120 @@
+"""Command-line entry point: ``python -m repro.analysis <paths...>``.
+
+Stable exit codes (the CI ``static-analysis`` job keys off them):
+
+* ``0`` — no findings beyond the baseline,
+* ``1`` — new findings (or a baseline written with ``--write-baseline``
+  that is now non-empty),
+* ``2`` — usage error: unknown rule, missing path, unreadable baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.core import all_rules, analyze_paths
+from repro.analysis.reporters import render_json, render_text
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter (see docs/conventions.md)",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to analyse")
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help="baseline JSON of grandfathered findings (default: "
+             f"{DEFAULT_BASELINE}; silently skipped when absent)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file: report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline file from the current findings and exit",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="additionally write the JSON report to PATH (the CI artifact)",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-baselined", action="store_true",
+        help="also print grandfathered findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, rule in sorted(all_rules().items()):
+            print(f"{name}: {rule.description} [scopes: {', '.join(rule.roles)}]")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return 2
+
+    rule_names = None
+    if args.rules is not None:
+        rule_names = [name.strip() for name in args.rules.split(",") if name.strip()]
+
+    try:
+        findings, files = analyze_paths(args.paths, rules=rule_names)
+    except (KeyError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0 if not findings else 1
+
+    baseline = Counter()
+    if not args.no_baseline and Path(args.baseline).exists():
+        try:
+            baseline = load_baseline(args.baseline)
+        except (ValueError, KeyError, json.JSONDecodeError) as error:
+            print(f"error: unreadable baseline: {error}", file=sys.stderr)
+            return 2
+    new, grandfathered, stale = apply_baseline(findings, baseline)
+
+    if args.json:
+        report = render_json(new, grandfathered, stale, files)
+        Path(args.json).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+    if args.format == "json":
+        print(json.dumps(render_json(new, grandfathered, stale, files), indent=2))
+    else:
+        print(render_text(new, grandfathered, stale, files,
+                          show_grandfathered=args.show_baselined))
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

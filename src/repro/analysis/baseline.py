@@ -1,0 +1,70 @@
+"""Checked-in baseline of grandfathered findings.
+
+A baseline lets the linter land with real findings still open: known
+violations are recorded in ``analysis-baseline.json`` and only *new*
+findings fail the build.  Matching is by ``(path, rule, message)`` as a
+multiset — line numbers drift with every edit, so they are recorded for
+humans but ignored when matching.  Baseline entries that no longer match
+anything are reported as *stale* so the file ratchets down over time.
+
+The repository itself ships an **empty** baseline: every finding the
+first full run surfaced was either fixed or carries an inline justified
+suppression (see ``docs/conventions.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline", "BASELINE_VERSION"]
+
+
+def load_baseline(path: Union[str, Path]) -> Counter:
+    """Baseline file -> multiset of ``(path, rule, message)`` keys."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{path}: not a baseline file (missing 'findings')")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: baseline version {version!r} unsupported "
+            f"(expected {BASELINE_VERSION})"
+        )
+    keys: Counter = Counter()
+    for entry in payload["findings"]:
+        keys[(entry["path"], entry["rule"], entry["message"])] += 1
+    return keys
+
+
+def write_baseline(path: Union[str, Path], findings: Sequence[Finding]) -> None:
+    """Serialize current findings as the new grandfathered set."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [finding.to_dict() for finding in sorted(findings)],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding], int]:
+    """Split findings into (new, grandfathered) and count stale entries."""
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        if remaining.get(finding.key, 0) > 0:
+            remaining[finding.key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    # repro: disable=float-determinism -- integer multiset counts; order-free
+    stale = sum(remaining.values())
+    return new, grandfathered, stale

@@ -1,0 +1,57 @@
+"""Text and JSON reporters with stable shapes for CI consumption."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence
+
+from repro.analysis.core import Finding
+
+REPORT_VERSION = 1
+
+__all__ = ["render_text", "render_json", "REPORT_VERSION"]
+
+
+def render_text(
+    new: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+    stale_baseline: int,
+    files: int,
+    show_grandfathered: bool = False,
+) -> str:
+    """Human-readable report: one `path:line:col: rule: message` per finding."""
+    lines: List[str] = [finding.render() for finding in new]
+    if show_grandfathered and grandfathered:
+        lines.append("-- grandfathered (baselined) --")
+        lines.extend(finding.render() for finding in grandfathered)
+    per_rule = Counter(finding.rule for finding in new)
+    breakdown = ", ".join(f"{rule}: {count}" for rule, count in sorted(per_rule.items()))
+    summary = (
+        f"{len(new)} new finding(s)"
+        + (f" [{breakdown}]" if breakdown else "")
+        + f", {len(grandfathered)} baselined, {stale_baseline} stale baseline "
+        + f"entr{'y' if stale_baseline == 1 else 'ies'}, {files} file(s) analysed"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    new: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+    stale_baseline: int,
+    files: int,
+) -> dict:
+    """JSON-ready report; uploaded as the CI ``static-analysis`` artifact."""
+    return {
+        "version": REPORT_VERSION,
+        "summary": {
+            "new": len(new),
+            "grandfathered": len(grandfathered),
+            "stale_baseline_entries": stale_baseline,
+            "files_analysed": files,
+            "by_rule": dict(sorted(Counter(f.rule for f in new).items())),
+        },
+        "findings": [finding.to_dict() for finding in new],
+        "grandfathered": [finding.to_dict() for finding in grandfathered],
+    }

@@ -1,0 +1,17 @@
+"""Project-specific invariant rules.
+
+Importing this package registers every rule with the
+:mod:`repro.analysis.core` registry.  To add a rule: create a module
+here, subclass :class:`repro.analysis.core.Rule`, decorate it with
+``@register``, import it below, and document the invariant in
+``docs/conventions.md`` (with a paired violating/clean fixture in
+``tests/test_analysis.py``).
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (import = registration)
+    backend_purity,
+    float_determinism,
+    guarded_by,
+    rng_hygiene,
+    state_dict,
+)

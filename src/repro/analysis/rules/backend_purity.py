@@ -1,0 +1,56 @@
+"""``backend-purity`` — keep raw numpy out of backend-dispatched code.
+
+PR 5 extracted the array layer behind the :class:`repro.tensor.Backend`
+registry precisely so numerical kernels have one owner: the float64
+``numpy`` reference backend stays bit-identical to the paper while
+``numpy32`` swaps in fused float32 kernels.  A ``import numpy`` outside
+the array layer is how that contract erodes — new tensor math quietly
+computed at a fixed precision the backend can no longer control.
+
+Only the array layer itself (``repro/tensor/``) and the dataset layer
+(``repro/data/``, which materialises interaction logs as plain int
+arrays) may import numpy freely.  Everywhere else an import must carry a
+justified suppression explaining why the usage is index bookkeeping or a
+serving-boundary concern rather than dispatched math.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+#: Library paths where raw numpy is the point, not a leak.
+ALLOWLIST_PREFIXES = ("repro/tensor/", "repro/data/")
+
+MESSAGE = (
+    "direct numpy import outside the array-layer allowlist (repro/tensor/, "
+    "repro/data/); tensor math must dispatch through the active Backend"
+)
+
+
+@register
+class BackendPurityRule(Rule):
+    name = "backend-purity"
+    description = "no `import numpy` outside the repro/tensor + repro/data allowlist"
+    roles = ("library",)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.role not in self.roles or ctx.library_rel is None:
+            return False
+        return not ctx.library_rel.startswith(ALLOWLIST_PREFIXES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy" or alias.name.startswith("numpy."):
+                        yield self.finding(ctx, node, MESSAGE)
+                        break
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if node.level == 0 and (
+                    module == "numpy" or module.startswith("numpy.")
+                ):
+                    yield self.finding(ctx, node, MESSAGE)

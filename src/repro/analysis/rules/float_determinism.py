@@ -1,0 +1,114 @@
+"""``float-determinism`` — no accumulation over unordered iteration.
+
+IEEE float addition is not associative: summing the same values in a
+different order produces different bits, and every scheduler/backend/
+payload equivalence in this repo is asserted with ``==``.  Sets (and
+anything built from them) iterate in hash order, which varies across
+processes; accumulating floats over one is a latent identity break that
+only fires when a hash seed changes.
+
+Flagged in library code:
+
+* ``sum(...)`` / ``math.fsum(...)`` / ``np.sum(...)`` whose iterable is a
+  set literal, set comprehension, ``set()``/``frozenset()`` call — or a
+  comprehension iterating over one;
+* the same call shapes over dict views (``.values()``/``.items()``/
+  ``.keys()``): insertion order *is* deterministic for a fixed code path,
+  but it silently depends on construction order, so the accumulation
+  needs a justified suppression stating why the order (or the dtype —
+  integer sums are order-free) makes it safe;
+* ``for``-loops over set-typed iterables whose body contains an
+  augmented ``+=`` accumulation.
+
+The aggregation paths proper (``federated/base.py``, ``core/server.py``)
+accumulate over *sorted client ids and parameter-registration order* by
+construction — the patterns above are the ways new code usually slips
+off that path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+SET_MESSAGE = (
+    "accumulation over unordered set iteration; float addition is not "
+    "associative — iterate a sorted/list container instead"
+)
+DICT_VIEW_MESSAGE = (
+    "sum over dict-view iteration (.{method}()) depends on insertion "
+    "order; sort the keys or justify why the accumulation is order-free"
+)
+LOOP_MESSAGE = (
+    "augmented accumulation inside a loop over a set; float addition is "
+    "not associative — iterate a sorted/list container instead"
+)
+
+_SUM_NAMES = {"sum", "fsum"}
+_DICT_VIEW_METHODS = {"values", "items", "keys"}
+
+
+@register
+class FloatDeterminismRule(Rule):
+    name = "float-determinism"
+    description = "no sum()/accumulation over set or dict-view iteration"
+    roles = ("library",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and self._is_sum_call(node) and node.args:
+                iterable = _unwrap_comprehension(node.args[0])
+                if _is_set_expr(iterable):
+                    yield self.finding(ctx, node, SET_MESSAGE)
+                else:
+                    method = _dict_view_method(iterable)
+                    if method is not None:
+                        yield self.finding(
+                            ctx, node, DICT_VIEW_MESSAGE.format(method=method)
+                        )
+            elif isinstance(node, ast.For) and _is_set_expr(node.iter):
+                if any(
+                    isinstance(child, ast.AugAssign)
+                    and isinstance(child.op, ast.Add)
+                    for stmt in node.body
+                    for child in ast.walk(stmt)
+                ):
+                    yield self.finding(ctx, node, LOOP_MESSAGE)
+
+    def _is_sum_call(self, node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in _SUM_NAMES
+        if isinstance(func, ast.Attribute):
+            return func.attr in ("fsum", "sum")
+        return False
+
+
+def _unwrap_comprehension(node: ast.AST) -> ast.AST:
+    """``sum(f(x) for x in ITER)`` -> ``ITER``; other args pass through."""
+    if isinstance(node, (ast.GeneratorExp, ast.ListComp)) and node.generators:
+        return node.generators[0].iter
+    return node
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        # set algebra: {a} | set(b), arrived - failed, ...
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _dict_view_method(node: ast.AST) -> Optional[str]:
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+            and not node.args and not node.keywords
+            and node.func.attr in _DICT_VIEW_METHODS):
+        return node.func.attr
+    return None

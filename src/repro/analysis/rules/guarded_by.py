@@ -1,0 +1,177 @@
+"""``guarded-by`` — a mini lock-discipline checker for the serving layer.
+
+The PR 8 gateway and the thread-safe ``serve.Recommender`` share mutable
+state (queues, LRU cache, stat counters) between client threads, a
+dispatcher thread and swap loader threads.  The convention that keeps the
+telemetry exact and the caches uncorrupted is *annotated*, and this rule
+makes the annotation machine-checked:
+
+* ``self.<attr> = ...  # guarded-by: <lock>`` registers ``attr`` (the
+  comment may also stand on its own line directly above the assignment);
+* every later load or store of ``self.<attr>`` anywhere in the class must
+  then sit lexically inside ``with self.<lock>:``;
+* a method whose whole body runs with the lock held (a ``..._locked``
+  helper called under the lock) declares it:
+  ``def _drain_locked(self):  # holds-lock: <lock>``.
+
+``__init__`` (and ``__new__``/``__post_init__``) are exempt —
+construction happens before the object is published to other threads.
+Nested functions reset the held-lock set: a closure defined inside a
+``with`` block may run on another thread long after the lock was
+released, so lexical inheritance would be unsound.
+
+The checker is lexical, not a model checker: it proves the *convention*
+(every annotated access is inside a matching ``with``), not full race
+freedom.  Benign racy reads (``len()`` snapshots for reprs) take a
+justified ``# repro: disable=guarded-by`` instead of a lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+UNGUARDED_MESSAGE = (
+    "self.{attr} is declared guarded-by self.{lock} but is accessed "
+    "without holding it"
+)
+DANGLING_MESSAGE = (
+    "guarded-by annotation does not attach to a `self.<attr> = ...` assignment"
+)
+
+_EXEMPT_METHODS = {"__init__", "__new__", "__post_init__"}
+
+
+@register
+class GuardedByRule(Rule):
+    name = "guarded-by"
+    description = (
+        "attributes annotated `# guarded-by: <lock>` are only touched "
+        "inside `with self.<lock>:`"
+    )
+    roles = ("library", "tests", "benchmarks")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        annotations = ctx.guarded_by_annotations()
+        if not annotations:
+            return
+        holds = dict(ctx.holds_lock_annotations())
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node, annotations, holds)
+        # Annotations that attached to no self-attribute assignment at all
+        # are typos and must fail loudly, or the "guard" silently never
+        # existed.
+        claimed = set()
+        for node in ast.walk(ctx.tree):
+            for line in _self_assignment_lines(node):
+                claimed.add(line)
+        for line, _lock in annotations:
+            if line not in claimed:
+                yield Finding(ctx.rel_path, line, 0, self.name, DANGLING_MESSAGE)
+
+    # ------------------------------------------------------------------
+    def _check_class(
+        self,
+        ctx: FileContext,
+        cls: ast.ClassDef,
+        annotations: List[Tuple[int, str]],
+        holds: Dict[int, str],
+    ) -> Iterator[Finding]:
+        guarded = self._guarded_attrs(cls, annotations)
+        if not guarded:
+            return
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in _EXEMPT_METHODS:
+                continue
+            held: Set[str] = set()
+            declared = holds.get(item.lineno)
+            if declared is not None:
+                held.add(_normalize_lock(declared))
+            for stmt in item.body:
+                yield from self._walk(ctx, stmt, guarded, held)
+
+    def _guarded_attrs(
+        self, cls: ast.ClassDef, annotations: List[Tuple[int, str]]
+    ) -> Dict[str, str]:
+        """attr name -> lock name, from annotated assignments in this class."""
+        lines = {line: _normalize_lock(lock) for line, lock in annotations}
+        guarded: Dict[str, str] = {}
+        for node in ast.walk(cls):
+            if node is cls or isinstance(node, ast.ClassDef):
+                continue
+            for line, attr in _self_assignments(node):
+                if line in lines:
+                    guarded[attr] = lines[line]
+        return guarded
+
+    def _walk(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        guarded: Dict[str, str],
+        held: Set[str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.With):
+            acquired = set(held)
+            for item in node.items:
+                lock = _lock_expr_name(item.context_expr)
+                if lock is not None:
+                    acquired.add(lock)
+            for item in node.items:
+                yield from self._walk(ctx, item.context_expr, guarded, held)
+            for child in node.body:
+                yield from self._walk(ctx, child, guarded, acquired)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested function may execute later, on any thread, without
+            # the lexically-enclosing lock: analyse it with a clean slate.
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for child in body:
+                yield from self._walk(ctx, child, guarded, set())
+            return
+        if isinstance(node, ast.Attribute):
+            if (isinstance(node.value, ast.Name) and node.value.id == "self"
+                    and node.attr in guarded and guarded[node.attr] not in held):
+                yield self.finding(ctx, node, UNGUARDED_MESSAGE.format(
+                    attr=node.attr, lock=guarded[node.attr]))
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk(ctx, child, guarded, held)
+
+
+def _normalize_lock(lock: str) -> str:
+    return lock[len("self."):] if lock.startswith("self.") else lock
+
+
+def _lock_expr_name(expr: ast.AST):
+    """``with self._lock:`` / ``with self._cond:`` -> the lock attr name."""
+    if (isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"):
+        return expr.attr
+    return None
+
+
+def _self_assignments(node: ast.AST) -> List[Tuple[int, str]]:
+    """(line, attr) for each direct ``self.<attr>`` assignment target."""
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    found = []
+    for target in targets:
+        elements = target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+        for element in elements:
+            if (isinstance(element, ast.Attribute)
+                    and isinstance(element.value, ast.Name)
+                    and element.value.id == "self"):
+                found.append((element.lineno, element.attr))
+    return found
+
+
+def _self_assignment_lines(node: ast.AST) -> List[int]:
+    return [line for line, _attr in _self_assignments(node)]

@@ -1,0 +1,159 @@
+"""``rng-hygiene`` — all randomness flows through keyed ``utils.rng`` streams.
+
+The repository's identity tests compare entire training runs with ``==``;
+that only works because every stochastic draw comes from a generator
+derived as ``(seed, stream name[, index])`` by :mod:`repro.utils.rng`.
+Three patterns break the contract and are flagged in library code and
+benchmarks:
+
+* ``np.random.*`` calls — the legacy global-state API (``np.random.seed``,
+  ``np.random.rand``) is process-wide mutable state, and even
+  ``np.random.default_rng`` called directly creates streams the seed
+  audit cannot see.  Use :func:`repro.utils.rng.seeded_rng` or
+  :class:`repro.utils.rng.RngFactory` instead.
+* the stdlib ``random`` module — per-process salted, invisible to the
+  keyed-stream audit.
+* wall-clock reads (``time.time``, ``datetime.now`` …) — results must
+  never depend on when they were computed.  Elapsed-time telemetry via
+  ``time.perf_counter`` / ``time.monotonic`` is exempt: it measures
+  execution, it cannot change results.
+
+``repro/utils/rng.py`` itself is exempt — it *is* the chokepoint.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+NP_RANDOM_MESSAGE = (
+    "np.random.{name} call; draw from repro.utils.rng keyed streams "
+    "(seeded_rng / RngFactory) instead"
+)
+STDLIB_RANDOM_MESSAGE = (
+    "stdlib random module; draw from repro.utils.rng keyed streams instead"
+)
+WALL_CLOCK_MESSAGE = (
+    "wall-clock call {name}(); results must not depend on real time "
+    "(time.perf_counter/time.monotonic telemetry is exempt)"
+)
+
+_WALL_CLOCK_TIME_ATTRS = {"time", "time_ns"}
+_WALL_CLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+
+@register
+class RngHygieneRule(Rule):
+    name = "rng-hygiene"
+    description = (
+        "no np.random.* / stdlib random / wall-clock calls; "
+        "RNG comes from utils.rng keyed streams"
+    )
+    roles = ("library", "benchmarks")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.role not in self.roles:
+            return False
+        return ctx.library_rel != "repro/utils/rng.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = _ImportAliases()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(ctx, node, aliases)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, aliases)
+
+    # ------------------------------------------------------------------
+    def _check_import(self, ctx, node, aliases) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if alias.name == "numpy" or alias.name.startswith("numpy."):
+                    aliases.numpy.add(bound)
+                elif alias.name == "random":
+                    yield self.finding(ctx, node, STDLIB_RANDOM_MESSAGE)
+                elif alias.name in ("time", "datetime"):
+                    aliases.modules.setdefault(alias.name, set()).add(bound)
+            return
+        module = node.module or ""
+        if node.level:
+            return
+        if module == "random":
+            yield self.finding(ctx, node, STDLIB_RANDOM_MESSAGE)
+        elif module == "numpy" :
+            for alias in node.names:
+                if alias.name == "random":
+                    aliases.numpy_random.add(alias.asname or alias.name)
+        elif module == "numpy.random":
+            for alias in node.names:
+                if alias.name != "Generator":  # type annotations are fine
+                    yield self.finding(ctx, node, NP_RANDOM_MESSAGE.format(
+                        name=alias.name))
+        elif module == "time":
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_TIME_ATTRS:
+                    yield self.finding(ctx, node, WALL_CLOCK_MESSAGE.format(
+                        name=f"time.{alias.name}"))
+        elif module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    aliases.datetime_classes.add(alias.asname or alias.name)
+
+    def _check_call(self, ctx, node: ast.Call, aliases) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        chain = _attribute_chain(func)
+        if chain is None:
+            return
+        # np.random.<fn>(...) or numpy.random.<fn>(...)
+        if len(chain) == 3 and chain[0] in aliases.numpy and chain[1] == "random":
+            yield self.finding(ctx, node, NP_RANDOM_MESSAGE.format(name=chain[2]))
+            return
+        # from numpy import random [as nr]; nr.<fn>(...)
+        if len(chain) == 2 and chain[0] in aliases.numpy_random:
+            yield self.finding(ctx, node, NP_RANDOM_MESSAGE.format(name=chain[1]))
+            return
+        # time.time() / time.time_ns()
+        if (len(chain) == 2 and chain[0] in aliases.modules.get("time", ())
+                and chain[1] in _WALL_CLOCK_TIME_ATTRS):
+            yield self.finding(ctx, node, WALL_CLOCK_MESSAGE.format(
+                name=f"time.{chain[1]}"))
+            return
+        # datetime.datetime.now() / datetime.date.today()
+        if (len(chain) == 3 and chain[0] in aliases.modules.get("datetime", ())
+                and chain[1] in ("datetime", "date")
+                and chain[2] in _WALL_CLOCK_DATETIME_ATTRS):
+            yield self.finding(ctx, node, WALL_CLOCK_MESSAGE.format(
+                name=f"datetime.{chain[1]}.{chain[2]}"))
+            return
+        # from datetime import datetime; datetime.now()
+        if (len(chain) == 2 and chain[0] in aliases.datetime_classes
+                and chain[1] in _WALL_CLOCK_DATETIME_ATTRS):
+            yield self.finding(ctx, node, WALL_CLOCK_MESSAGE.format(
+                name=f"{chain[0]}.{chain[1]}"))
+
+
+class _ImportAliases:
+    def __init__(self):
+        self.numpy: Set[str] = set()
+        self.numpy_random: Set[str] = set()
+        self.datetime_classes: Set[str] = set()
+        self.modules: Dict[str, Set[str]] = {}
+
+
+def _attribute_chain(node: ast.Attribute):
+    """``a.b.c`` -> ("a", "b", "c"); None for non-Name roots."""
+    parts = []
+    current: ast.AST = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return tuple(reversed(parts))

@@ -1,0 +1,66 @@
+"""``state-dict-symmetry`` — serializable state must round-trip.
+
+PR 3 made ``state_dict``/``load_state_dict`` the durable-lifecycle
+contract: anything a checkpoint saves must be restorable, bit-identically.
+A class that grows a ``state_dict`` without a loader produces artifacts
+nothing can restore; a loader without a saver means resume paths accept
+state no checkpoint can produce.  Both directions are flagged:
+
+* ``state_dict`` requires ``load_state_dict`` — or ``from_state_dict``,
+  the classmethod-constructor spelling value types use
+  (:class:`repro.tensor.sparse.SparseDelta`);
+* ``load_state_dict``/``from_state_dict`` without ``state_dict`` is
+  flagged only for classes with no base classes: subclasses routinely
+  override just the loader (LightGCN/NGCF rebuild their propagation
+  caches on load) while inheriting the saver from ``nn.Module``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+MISSING_LOADER_MESSAGE = (
+    "class {name} defines state_dict but no load_state_dict/from_state_dict; "
+    "checkpointed state must be restorable"
+)
+MISSING_SAVER_MESSAGE = (
+    "class {name} defines {loader} but no state_dict (and has no base class "
+    "to inherit one from); restorable state must be checkpointable"
+)
+
+_LOADER_NAMES = ("load_state_dict", "from_state_dict")
+
+
+@register
+class StateDictSymmetryRule(Rule):
+    name = "state-dict-symmetry"
+    description = "state_dict without load_state_dict (or vice versa) is an error"
+    roles = ("library",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            has_saver = "state_dict" in methods
+            loaders = [name for name in _LOADER_NAMES if name in methods]
+            has_bases = any(
+                not (isinstance(base, ast.Name) and base.id == "object")
+                for base in node.bases
+            )
+            if has_saver and not loaders:
+                yield self.finding(
+                    ctx, node, MISSING_LOADER_MESSAGE.format(name=node.name)
+                )
+            elif loaders and not has_saver and not has_bases:
+                yield self.finding(
+                    ctx, node,
+                    MISSING_SAVER_MESSAGE.format(name=node.name, loader=loaders[0]),
+                )

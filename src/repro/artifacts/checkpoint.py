@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+# repro: disable=backend-purity -- checkpoint payloads are npz ndarrays by schema contract
 import numpy as np
 
 from repro.artifacts.io import flatten_state, unflatten_state

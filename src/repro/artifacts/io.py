@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Mapping, Sequence, Tuple
 
+# repro: disable=backend-purity -- npz (de)serialization of schema-v2 array payloads
 import numpy as np
 
 #: Placeholder key marking "this JSON object stands for an npz array".

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
+# repro: disable=backend-purity -- epoch shuffling indices and detached eval matrices only
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+# repro: disable=backend-purity -- the attack consumes the plaintext upload arrays an adversary sees
 import numpy as np
 
 from repro.core.client import ClientUpload

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Union
 
+# repro: disable=backend-purity -- client-side prediction/rating arrays are the paper's exchange format
 import numpy as np
 
 from repro.core.config import PTFConfig, ensure_spec, legacy_config_view

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
+# repro: disable=backend-purity -- perturbation operates on uploaded prediction arrays pre-wire
 import numpy as np
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
+# repro: disable=backend-purity -- the PTF wire format exchanges plain prediction arrays, not tensors
 import numpy as np
 
 from repro.core.attack import AttackReport, TopGuessAttack

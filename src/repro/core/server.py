@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Set, Tuple, Union
 
+# repro: disable=backend-purity -- server-side aggregation over uploaded prediction arrays
 import numpy as np
 
 from repro.core.client import ClientUpload

@@ -7,6 +7,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
+from repro.utils.rng import seeded_rng
 
 
 @dataclass(frozen=True)
@@ -164,7 +165,7 @@ class InteractionDataset:
         """
         if not 0.0 < train_ratio < 1.0:
             raise ValueError(f"train_ratio must be in (0, 1), got {train_ratio}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else seeded_rng()
         by_user: Dict[int, List[int]] = {}
         for user, item in pairs:
             by_user.setdefault(int(user), []).append(int(item))

@@ -8,6 +8,7 @@ from typing import Iterator, Optional, Tuple, Union
 import numpy as np
 
 from repro.data.dataset import InteractionDataset
+from repro.utils.rng import seeded_rng
 
 
 class BatchIterator:
@@ -34,7 +35,7 @@ class BatchIterator:
         self.arrays = tuple(np.asarray(array) for array in arrays)
         self.batch_size = batch_size
         self.shuffle = shuffle
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else seeded_rng()
 
     def __len__(self) -> int:
         total = len(self.arrays[0])

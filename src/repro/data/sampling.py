@@ -14,6 +14,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.data.dataset import InteractionDataset
+from repro.utils.rng import seeded_rng
 
 
 def sample_negative_items(
@@ -61,7 +62,7 @@ def build_pointwise_samples(
     negatives are drawn.  The centralized baselines call this once per
     epoch; each federated client calls it on its own rows only.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else seeded_rng()
     users = list(users) if users is not None else dataset.users
     user_column: List[int] = []
     item_column: List[int] = []
@@ -107,7 +108,7 @@ class UserBatchSampler:
         self.positive_items = np.asarray(positive_items, dtype=np.int64)
         self.negative_ratio = negative_ratio
         self.batch_size = batch_size
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else seeded_rng()
 
     def epoch(
         self,

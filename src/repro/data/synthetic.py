@@ -23,6 +23,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.data.dataset import InteractionDataset
+from repro.utils.rng import seeded_rng
 
 
 @dataclass(frozen=True)
@@ -140,7 +141,7 @@ def generate_dataset(
     popularity distribution.  The result is split 8:2 per user, matching
     the paper's protocol.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else seeded_rng()
 
     profile_sizes = _draw_profile_sizes(spec, rng)
     popularity = _item_popularity_weights(spec)

@@ -57,6 +57,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+# repro: disable=backend-purity -- cohort stacking/index plumbing; stacked math runs on Tensor/Backend
 import numpy as np
 
 from repro.nn.module import Parameter

@@ -45,6 +45,7 @@ import os
 import pickle
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
+# repro: disable=backend-purity -- cohort index bookkeeping and worker payload marshalling
 import numpy as np
 
 from repro.engine.batch import (

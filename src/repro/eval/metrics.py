@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence, Set
 
+# repro: disable=backend-purity -- metrics grade detached score matrices; backend dtype fixed upstream
 import numpy as np
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
+# repro: disable=backend-purity -- full-ranking protocol masks/cuts detached score matrices
 import numpy as np
 
 from repro.data.dataset import InteractionDataset

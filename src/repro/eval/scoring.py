@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+# repro: disable=backend-purity -- cohort scorer returns detached ndarray score matrices by contract
 import numpy as np
 
 from repro.engine.batch import StackedMF, StackedMetaMF

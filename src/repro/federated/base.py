@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
+# repro: disable=backend-purity -- FedAvg aggregates state_dict ndarrays in parameter-registration order
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

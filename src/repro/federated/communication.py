@@ -22,6 +22,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Literal
 
+# repro: disable=backend-purity -- byte accounting and ledger serialization over int arrays
 import numpy as np
 
 FLOAT_BYTES = 4
@@ -140,6 +141,7 @@ class CommunicationLedger:
         per_pair = self.client_round_bytes()
         if not per_pair:
             return 0.0
+        # repro: disable=float-determinism -- integer byte counts; order-free
         return sum(per_pair.values()) / len(per_pair)
 
     def average_client_round_kilobytes(self) -> float:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+# repro: disable=backend-purity -- meta-network shape bookkeeping; training math runs on Tensor
 import numpy as np
 
 from repro.data.dataset import InteractionDataset
@@ -22,6 +23,7 @@ from repro.models.base import Recommender
 from repro.nn import Embedding, Linear
 from repro.tensor import Tensor
 from repro.utils.rng import RngFactory
+from repro.utils.rng import seeded_rng
 
 
 class MetaMFModel(Recommender):
@@ -35,7 +37,7 @@ class MetaMFModel(Recommender):
         rng: Optional[np.random.Generator] = None,
     ):
         super().__init__(num_users, num_items)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else seeded_rng()
         self.embedding_dim = embedding_dim
         self.user_embedding = Embedding(num_users, embedding_dim, rng=rng)
         self.item_base_embedding = Embedding(num_items, embedding_dim, rng=rng)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+# repro: disable=backend-purity -- top-k cuts over detached score rows; model math runs on Tensor
 import numpy as np
 
 from repro.nn import Module

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+# repro: disable=backend-purity -- served-model reconstruction copies state_dict ndarrays verbatim
 import numpy as np
 
 from repro.models.base import Recommender

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
+# repro: disable=backend-purity -- sparse adjacency construction over integer interaction indices
 import numpy as np
 import scipy.sparse as sp
 

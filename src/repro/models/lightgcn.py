@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
+# repro: disable=backend-purity -- integer adjacency indexing; propagation math runs on Tensor
 import numpy as np
 import scipy.sparse as sp
 
@@ -18,6 +19,7 @@ from repro.models.graph import build_normalized_adjacency
 from repro.nn.module import Parameter
 from repro.nn import init
 from repro.tensor import Tensor
+from repro.utils.rng import seeded_rng
 
 
 class LightGCN(Recommender):
@@ -33,7 +35,7 @@ class LightGCN(Recommender):
         interaction_pairs: Optional[Sequence[Tuple[int, int]]] = None,
     ):
         super().__init__(num_users, num_items)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else seeded_rng()
         self.embedding_dim = embedding_dim
         self.num_layers = num_layers
 

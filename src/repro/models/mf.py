@@ -9,12 +9,14 @@ from __future__ import annotations
 
 from typing import Optional
 
+# repro: disable=backend-purity -- integer id bookkeeping at the model boundary; float math runs on Tensor
 import numpy as np
 
 from repro.models.base import Recommender
 from repro.nn import Embedding
 from repro.nn.module import Parameter
 from repro.tensor import Tensor
+from repro.utils.rng import seeded_rng
 
 
 class MatrixFactorization(Recommender):
@@ -30,7 +32,7 @@ class MatrixFactorization(Recommender):
         embedding_std: float = 0.1,
     ):
         super().__init__(num_users, num_items)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else seeded_rng()
         self.embedding_dim = embedding_dim
         # Plain dot-product MF needs a larger initialization scale than the
         # deep models: with tiny embeddings the logits (and therefore the

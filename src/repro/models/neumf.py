@@ -11,12 +11,14 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+# repro: disable=backend-purity -- integer id bookkeeping at the model boundary; float math runs on Tensor
 import numpy as np
 
 from repro.models.base import Recommender
 from repro.nn import Embedding, Linear
 from repro.tensor import Tensor
 from repro.tensor.functional import concat
+from repro.utils.rng import seeded_rng
 
 
 class NeuMF(Recommender):
@@ -31,7 +33,7 @@ class NeuMF(Recommender):
         rng: Optional[np.random.Generator] = None,
     ):
         super().__init__(num_users, num_items)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else seeded_rng()
         self.embedding_dim = embedding_dim
         self.mlp_layer_sizes = tuple(mlp_layers)
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
+# repro: disable=backend-purity -- integer adjacency indexing; propagation math runs on Tensor
 import numpy as np
 import scipy.sparse as sp
 
@@ -21,6 +22,7 @@ from repro.nn.module import Parameter
 from repro.nn import init
 from repro.tensor import Tensor
 from repro.tensor.functional import concat
+from repro.utils.rng import seeded_rng
 
 
 class NGCF(Recommender):
@@ -36,7 +38,7 @@ class NGCF(Recommender):
         interaction_pairs: Optional[Sequence[Tuple[int, int]]] = None,
     ):
         super().__init__(num_users, num_items)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else seeded_rng()
         self.embedding_dim = embedding_dim
         self.num_layers = num_layers
 

@@ -7,6 +7,7 @@ popularity, and the test suite uses it as a floor for the learned models.
 
 from __future__ import annotations
 
+# repro: disable=backend-purity -- count-based cold-start scoring over int arrays; no dispatched math
 import numpy as np
 
 from repro.models.base import Recommender

@@ -13,6 +13,7 @@ is bit-identical to the pre-backend code.
 
 from __future__ import annotations
 
+# repro: disable=backend-purity -- initializers draw raw ndarrays that Tensor wraps in the active backend dtype
 import numpy as np
 
 from repro.tensor.backend import active_backend

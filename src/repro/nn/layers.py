@@ -4,11 +4,13 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+# repro: disable=backend-purity -- init draws and dropout masks are ndarray plumbing; layer math runs on Tensor
 import numpy as np
 
 from repro.nn.module import Module, Parameter
 from repro.nn import init
 from repro.tensor import Tensor
+from repro.utils.rng import seeded_rng
 
 
 class Linear(Module):
@@ -22,7 +24,7 @@ class Linear(Module):
         rng: Optional[np.random.Generator] = None,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else seeded_rng()
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng),
@@ -56,7 +58,7 @@ class Embedding(Module):
         std: float = 0.01,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else seeded_rng()
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng, std=std),
@@ -85,7 +87,7 @@ class Dropout(Module):
         if not 0.0 <= rate < 1.0:
             raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
         self.rate = rate
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else seeded_rng()
 
     def forward(self, inputs: Tensor) -> Tensor:
         if not self.training or self.rate == 0.0:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, Union
 
+# repro: disable=backend-purity -- dtype-aware clipping bounds only; loss math runs on Tensor ops
 import numpy as np
 
 from repro.tensor import Tensor

@@ -5,6 +5,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterator, Optional, Tuple
 
+# repro: disable=backend-purity -- parameter/buffer registries hold raw ndarrays; math dispatches through Tensor ops
 import numpy as np
 
 from repro.tensor import Tensor

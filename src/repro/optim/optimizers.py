@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Union
 
+# repro: disable=backend-purity -- optimizer state is raw ndarray slots updated through backend kernels
 import numpy as np
 
 from repro.tensor import Tensor

@@ -30,6 +30,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+# repro: disable=backend-purity -- fault-event draws and arrival masks are ndarray bookkeeping
 import numpy as np
 
 from repro.scenario.spec import ScenarioSpec

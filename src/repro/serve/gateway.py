@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Union
 
+# repro: disable=backend-purity -- the serving boundary speaks ndarray rows; scoring goes through the facade
 import numpy as np
 
 from repro.serve.recommender import Recommender
@@ -239,23 +240,26 @@ class ServingGateway:
         self.max_queue = int(max_queue)
         self._clock = clock
         self._service = service
-        self._queue: Deque[GatewayTicket] = deque()
+        self._queue: Deque[GatewayTicket] = deque()  # guarded-by: _cond
         self._cond = threading.Condition()
         self._running = False
         self._thread: Optional[threading.Thread] = None
         # (new_service, flipped_event, outcome_holder) staged by the
         # loader thread, applied by the dispatcher between ticks.
+        # guarded-by: _cond
         self._pending_swap: Optional[Tuple[Recommender, threading.Event, dict]] = None
         self._stats_lock = threading.Lock()
-        self._latencies: List[float] = []
-        self._batch_histogram: Dict[int, int] = {}
-        self._completed = 0
-        self._failed = 0
+        self._latencies: List[float] = []  # guarded-by: _stats_lock
+        self._batch_histogram: Dict[int, int] = {}  # guarded-by: _stats_lock
+        self._completed = 0  # guarded-by: _stats_lock
+        self._failed = 0  # guarded-by: _stats_lock
+        # guarded-by: _stats_lock
         self._shed = {"deadline": 0, "queue_full": 0, "shutdown": 0}
-        self._ticks = 0
-        self._swaps = 0
-        self._retired_cache = (0, 0, 0)  # hits/misses/cold of replaced services
-        self._window_start: Optional[float] = None
+        self._ticks = 0  # guarded-by: _stats_lock
+        self._swaps = 0  # guarded-by: _stats_lock
+        # hits/misses/cold retired from replaced services.  guarded-by: _stats_lock
+        self._retired_cache = (0, 0, 0)
+        self._window_start: Optional[float] = None  # guarded-by: _stats_lock
 
     # ------------------------------------------------------------------
     # Construction / lifecycle
@@ -279,7 +283,8 @@ class ServingGateway:
 
     @property
     def queue_depth(self) -> int:
-        return len(self._queue)
+        with self._cond:
+            return len(self._queue)
 
     def start(self) -> "ServingGateway":
         """Start the background dispatcher thread (idempotent)."""
@@ -313,7 +318,7 @@ class ServingGateway:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
-    def _drain_shutdown_locked(self) -> None:
+    def _drain_shutdown_locked(self) -> None:  # holds-lock: _cond
         while self._queue:
             ticket = self._queue.popleft()
             with self._stats_lock:
@@ -605,6 +610,7 @@ class ServingGateway:
             worst = float(latencies.max() * 1000.0)
         else:
             p50 = p99 = worst = 0.0
+        # repro: disable=float-determinism -- integer batch-size tallies; order-free
         dispatched = sum(size * count for size, count in histogram.items())
         return GatewayStats(
             completed=completed,
@@ -645,7 +651,10 @@ class ServingGateway:
 
     def __repr__(self) -> str:
         state = "running" if self._running else "stopped"
+        # repro: disable=guarded-by -- repr must never block: len() of a deque
+        # is atomic under the GIL and a stale snapshot is fine in a diagnostic
+        depth = len(self._queue)
         return (
             f"ServingGateway({self._service!r}, {state}, "
-            f"max_batch={self.max_batch}, queue={len(self._queue)})"
+            f"max_batch={self.max_batch}, queue={depth})"
         )

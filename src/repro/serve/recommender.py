@@ -12,8 +12,9 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, NamedTuple, Optional, Sequence, Union
 
+# repro: disable=backend-purity -- serving boundary: ndarray score rows in, ranked id arrays out
 import numpy as np
 
 from repro.data.dataset import InteractionDataset
@@ -28,6 +29,27 @@ _EMPTY_ITEMS = np.empty(0, dtype=np.int64)
 #: current value" — distinct from ``None``, which is a meaningful value
 #: (no mask / no fallback).
 _KEEP = object()
+
+
+class _ServingState(NamedTuple):
+    """One immutable snapshot of everything a query consults.
+
+    :meth:`Recommender.reload` *replaces* these objects wholesale (it
+    never mutates them in place), so a query that captured a snapshot
+    under the lock can keep using it lock-free: the snapshot stays
+    internally consistent even while a concurrent reload flips the live
+    service to a new model/mask/fallback generation.  ``epoch`` stamps
+    the model generation so the LRU cache can refuse rows computed by a
+    retired snapshot.
+    """
+
+    model: RecommenderModel
+    num_items: int
+    seen: Dict[int, np.ndarray]
+    known_users: Optional[set]
+    popularity: Optional[np.ndarray]
+    item_mask: Optional[np.ndarray]
+    epoch: int
 
 
 class Recommender:
@@ -67,14 +89,19 @@ class Recommender:
         # itself is read-only over the model snapshot.)
         self._lock = threading.RLock()
         self.cache_size = cache_size
-        self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.cold_hits = 0
-        self._seen: Dict[int, np.ndarray] = {}
-        self._known_users = None
-        self._popularity = None
-        self._item_mask = None
+        self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()  # guarded-by: _lock
+        self.cache_hits = 0  # guarded-by: _lock
+        self.cache_misses = 0  # guarded-by: _lock
+        self.cold_hits = 0  # guarded-by: _lock
+        # The serving-state six-tuple below (model/num_items/seen/known/
+        # popularity/mask) is only ever *replaced* under the lock, never
+        # mutated in place; queries capture all of it atomically through
+        # :meth:`_snapshot` and then run lock-free on the snapshot.
+        self._epoch = 0  # guarded-by: _lock
+        self._seen: Dict[int, np.ndarray] = {}  # guarded-by: _lock
+        self._known_users = None  # guarded-by: _lock
+        self._popularity = None  # guarded-by: _lock
+        self._item_mask = None  # guarded-by: _lock
         self.reload(
             model,
             seen_items=seen_items if seen_items is not None else _KEEP,
@@ -137,9 +164,13 @@ class Recommender:
                     "to reload alongside the model"
                 )
             if model is not None:
-                self.model = model
-                self.num_items = num_items
-                # Every cached row came from the retired model snapshot.
+                self.model = model  # guarded-by: _lock
+                self.num_items = num_items  # guarded-by: _lock
+                # Every cached row came from the retired model snapshot —
+                # and the epoch bump makes in-flight queries that captured
+                # the old snapshot drop their rows instead of re-poisoning
+                # the fresh cache after this clear.
+                self._epoch += 1
                 self._cache.clear()
             if seen_items is not _KEEP:
                 self._seen = {
@@ -234,10 +265,24 @@ class Recommender:
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
-    def _is_cold(self, user: int) -> bool:
-        if user < 0 or user >= self.model.num_users:
+    def _snapshot(self) -> _ServingState:
+        """Capture the whole serving state atomically (see _ServingState)."""
+        with self._lock:
+            return _ServingState(
+                model=self.model,
+                num_items=self.num_items,
+                seen=self._seen,
+                known_users=self._known_users,
+                popularity=self._popularity,
+                item_mask=self._item_mask,
+                epoch=self._epoch,
+            )
+
+    @staticmethod
+    def _is_cold(state: _ServingState, user: int) -> bool:
+        if user < 0 or user >= state.model.num_users:
             return True
-        return self._known_users is not None and user not in self._known_users
+        return state.known_users is not None and user not in state.known_users
 
     def scores(self, users: Union[int, Sequence[int], np.ndarray]) -> np.ndarray:
         """Raw score rows for a cohort; shape ``(len(users), num_items)``.
@@ -248,40 +293,56 @@ class Recommender:
         Cold lookups are counted in :attr:`cold_hits`, never as cache
         misses — cold rows are not cacheable, so they would permanently
         skew the LRU hit-rate statistics.
+
+        The whole call is answered from **one** serving-state snapshot:
+        a :meth:`reload` racing with it flips the service between calls,
+        never inside one, so concurrent queries get only-old or only-new
+        rows — never a torn mix of retired model and fresh fallback.
         """
+        return self._scores_from(self._snapshot(), users)
+
+    def _scores_from(
+        self, state: _ServingState, users: Union[int, Sequence[int], np.ndarray]
+    ) -> np.ndarray:
         users = np.atleast_1d(np.asarray(users, dtype=np.int64))
         if users.size == 0:
-            return np.empty((0, self.num_items), dtype=np.float64)
+            return np.empty((0, state.num_items), dtype=np.float64)
         rows: Dict[int, np.ndarray] = {}
         fresh: list = []
         for user in dict.fromkeys(map(int, users)):  # unique, order-preserving
-            if self._is_cold(user):
-                if self._popularity is None:
+            if self._is_cold(state, user):
+                if state.popularity is None:
                     raise IndexError(
                         f"user {user} is unknown to the served model and no "
                         "popularity fallback was configured"
                     )
                 with self._lock:
                     self.cold_hits += 1
-                rows[user] = self._popularity
+                rows[user] = state.popularity
                 continue
-            cached = self._cache_get(user)
+            cached = self._cache_get(user, state.epoch)
             if cached is not None:
                 rows[user] = cached
             else:
                 fresh.append(user)
         if fresh:
             cohort = np.asarray(fresh, dtype=np.int64)
-            for user, row in zip(fresh, batch_scores(self.model, cohort)):
+            for user, row in zip(fresh, batch_scores(state.model, cohort)):
                 rows[user] = row
-                self._cache_put(user, row)
+                self._cache_put(user, row, state.epoch)
         return np.stack([rows[int(user)] for user in users])
 
-    def _cache_get(self, user: int) -> Optional[np.ndarray]:
+    def _cache_get(self, user: int, epoch: int) -> Optional[np.ndarray]:
         # OrderedDict mutation (move_to_end, eviction) is not atomic;
         # unsynchronized concurrent readers can corrupt the linked list or
         # double-evict, so every touch serializes on the service lock.
         with self._lock:
+            if epoch != self._epoch:
+                # The caller's snapshot predates a model swap: every row in
+                # the live cache belongs to the *new* model, so serving one
+                # would tear the caller's otherwise-consistent snapshot.
+                self.cache_misses += 1
+                return None
             row = self._cache.get(user)
             if row is None:
                 self.cache_misses += 1
@@ -290,10 +351,12 @@ class Recommender:
             self.cache_hits += 1
             return row
 
-    def _cache_put(self, user: int, row: np.ndarray) -> None:
+    def _cache_put(self, user: int, row: np.ndarray, epoch: int) -> None:
         if self.cache_size == 0:
             return
         with self._lock:
+            if epoch != self._epoch:
+                return  # stale row from a retired model; never poison the cache
             # Copy: ``row`` is a view into the cohort's full score matrix,
             # and caching the view would pin the whole matrix in memory.
             self._cache[user] = row.copy()
@@ -337,15 +400,19 @@ class Recommender:
             isinstance(users, np.ndarray) and users.ndim == 0
         )
         users = np.atleast_1d(np.asarray(users, dtype=np.int64))
-        k = min(int(k), self.num_items)
+        # One snapshot answers the whole query: the scores, the servable-
+        # item mask and the seen-item exclusion all come from the same
+        # model generation even if a reload() lands mid-call.
+        state = self._snapshot()
+        k = min(int(k), state.num_items)
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
-        scores = self.scores(users).copy()
-        if self._item_mask is not None:
-            scores[:, ~self._item_mask] = -np.inf
+        scores = self._scores_from(state, users).copy()
+        if state.item_mask is not None:
+            scores[:, ~state.item_mask] = -np.inf
         if exclude_seen:
             seen_rows = [
-                self._seen.get(int(user), _EMPTY_ITEMS) for user in users
+                state.seen.get(int(user), _EMPTY_ITEMS) for user in users
             ]
             sizes = np.fromiter((row.size for row in seen_rows), dtype=np.int64,
                                 count=len(seen_rows))
@@ -362,7 +429,8 @@ class Recommender:
         return [row[: int(count)] for row, count in zip(ranked, valid)]
 
     def __repr__(self) -> str:
-        return (
-            f"serve.Recommender(model={type(self.model).__name__}, "
-            f"items={self.num_items}, cache={len(self._cache)}/{self.cache_size})"
-        )
+        with self._lock:
+            return (
+                f"serve.Recommender(model={type(self.model).__name__}, "
+                f"items={self.num_items}, cache={len(self._cache)}/{self.cache_size})"
+            )

@@ -36,6 +36,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.tensor.backend import active_backend
+from repro.utils.rng import seeded_rng
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
@@ -196,7 +197,7 @@ class Tensor:
     @staticmethod
     def randn(shape, rng: Optional[np.random.Generator] = None, scale: float = 1.0,
               requires_grad: bool = False) -> "Tensor":
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else seeded_rng()
         return Tensor(rng.normal(0.0, scale, size=shape), requires_grad=requires_grad)
 
     # ------------------------------------------------------------------

@@ -8,6 +8,7 @@ reproduces an entire experiment end to end.
 
 from __future__ import annotations
 
+# repro: disable=backend-purity -- this module is the keyed-stream chokepoint over numpy's Generator API
 import numpy as np
 
 

@@ -1,0 +1,651 @@
+"""Tests for ``repro.analysis`` — the AST-based invariant linter.
+
+Every rule gets a paired violating/clean fixture run through the
+production driver (:func:`repro.analysis.core.analyze_source`), plus the
+suppression grammar, the baseline mechanism, the CLI exit codes, and a
+self-run asserting the repository itself is clean modulo the checked-in
+baseline.
+"""
+
+import json
+import textwrap
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    analyze_paths,
+    analyze_source,
+    apply_baseline,
+    classify_role,
+    get_rules,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.__main__ import main
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules.guarded_by import DANGLING_MESSAGE
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def lint(source, rel_path="src/repro/module.py", role=None, rules=None):
+    return analyze_source(textwrap.dedent(source), rel_path, role=role, rules=rules)
+
+
+def rule_names(findings):
+    return [finding.rule for finding in findings]
+
+
+# ----------------------------------------------------------------------
+# Role classification
+# ----------------------------------------------------------------------
+class TestClassifyRole:
+    @pytest.mark.parametrize(
+        "path, role",
+        [
+            ("src/repro/nn/layers.py", "library"),
+            ("repro/serve/gateway.py", "library"),
+            ("tests/test_serve.py", "tests"),
+            ("benchmarks/serve_loadgen.py", "benchmarks"),
+            ("scripts/tool.py", "other"),
+        ],
+    )
+    def test_roles(self, path, role):
+        assert classify_role(path) == role
+
+
+# ----------------------------------------------------------------------
+# backend-purity
+# ----------------------------------------------------------------------
+class TestBackendPurity:
+    def test_numpy_import_in_library_is_flagged(self):
+        findings = lint("import numpy as np\n", rules=("backend-purity",))
+        assert rule_names(findings) == ["backend-purity"]
+
+    def test_from_numpy_import_is_flagged(self):
+        findings = lint(
+            "from numpy import float64\n", rules=("backend-purity",)
+        )
+        assert rule_names(findings) == ["backend-purity"]
+
+    @pytest.mark.parametrize(
+        "rel", ["src/repro/tensor/ops.py", "src/repro/data/dataset.py"]
+    )
+    def test_array_layer_allowlist_is_clean(self, rel):
+        findings = lint("import numpy as np\n", rel_path=rel,
+                        rules=("backend-purity",))
+        assert findings == []
+
+    def test_tests_and_benchmarks_are_out_of_scope(self):
+        for rel in ("tests/test_x.py", "benchmarks/bench_x.py"):
+            assert lint("import numpy as np\n", rel_path=rel,
+                        rules=("backend-purity",)) == []
+
+    def test_unrelated_import_is_clean(self):
+        assert lint("import json\n", rules=("backend-purity",)) == []
+
+
+# ----------------------------------------------------------------------
+# rng-hygiene
+# ----------------------------------------------------------------------
+class TestRngHygiene:
+    def test_np_random_call_is_flagged(self):
+        findings = lint(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """,
+            rules=("rng-hygiene",),
+        )
+        assert rule_names(findings) == ["rng-hygiene"]
+        assert "np.random.default_rng" in findings[0].message
+
+    def test_numpy_alias_is_tracked(self):
+        findings = lint(
+            """
+            import numpy as xp
+            x = xp.random.rand(3)
+            """,
+            rules=("rng-hygiene",),
+        )
+        assert rule_names(findings) == ["rng-hygiene"]
+
+    def test_stdlib_random_import_is_flagged(self):
+        assert rule_names(lint("import random\n", rules=("rng-hygiene",))) == [
+            "rng-hygiene"
+        ]
+        assert rule_names(
+            lint("from random import shuffle\n", rules=("rng-hygiene",))
+        ) == ["rng-hygiene"]
+
+    def test_wall_clock_reads_are_flagged(self):
+        findings = lint(
+            """
+            import time
+            stamp = time.time()
+            """,
+            rules=("rng-hygiene",),
+        )
+        assert rule_names(findings) == ["rng-hygiene"]
+        findings = lint(
+            """
+            from datetime import datetime
+            now = datetime.now()
+            """,
+            rules=("rng-hygiene",),
+        )
+        assert rule_names(findings) == ["rng-hygiene"]
+
+    def test_perf_counter_telemetry_is_exempt(self):
+        findings = lint(
+            """
+            import time
+            start = time.perf_counter()
+            tick = time.monotonic()
+            """,
+            rules=("rng-hygiene",),
+        )
+        assert findings == []
+
+    def test_generator_type_import_is_clean(self):
+        assert lint(
+            "from numpy.random import Generator\n", rules=("rng-hygiene",)
+        ) == []
+
+    def test_keyed_streams_are_clean(self):
+        findings = lint(
+            """
+            from repro.utils.rng import seeded_rng
+            rng = seeded_rng("stream")
+            """,
+            rules=("rng-hygiene",),
+        )
+        assert findings == []
+
+    def test_rng_module_itself_is_exempt(self):
+        findings = lint(
+            "import numpy as np\nrng = np.random.default_rng(seed)\n",
+            rel_path="src/repro/utils/rng.py",
+            rules=("rng-hygiene",),
+        )
+        assert findings == []
+
+    def test_benchmarks_are_in_scope_but_tests_are_not(self):
+        source = "import numpy as np\nx = np.random.rand()\n"
+        assert rule_names(
+            lint(source, rel_path="benchmarks/bench.py", rules=("rng-hygiene",))
+        ) == ["rng-hygiene"]
+        assert lint(source, rel_path="tests/test_a.py",
+                    rules=("rng-hygiene",)) == []
+
+
+# ----------------------------------------------------------------------
+# guarded-by
+# ----------------------------------------------------------------------
+_GUARDED_CLASS = """
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0  # guarded-by: _lock
+
+    def read(self):
+{body}
+"""
+
+
+def _guarded(body):
+    return _GUARDED_CLASS.format(body=textwrap.indent(textwrap.dedent(body), " " * 8))
+
+
+class TestGuardedBy:
+    def test_unguarded_access_is_flagged(self):
+        findings = lint(_guarded("return self._total\n"), rules=("guarded-by",))
+        assert rule_names(findings) == ["guarded-by"]
+        assert "self._total is declared guarded-by self._lock" in findings[0].message
+
+    def test_access_under_the_lock_is_clean(self):
+        body = """
+        with self._lock:
+            return self._total
+        """
+        assert lint(_guarded(body), rules=("guarded-by",)) == []
+
+    def test_init_is_exempt(self):
+        source = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._total = 0  # guarded-by: _lock
+                self._total = self._total + 1
+        """
+        assert lint(source, rules=("guarded-by",)) == []
+
+    def test_holds_lock_declares_a_locked_helper(self):
+        source = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._total = 0  # guarded-by: _lock
+
+            def _bump_locked(self):  # holds-lock: _lock
+                self._total += 1
+        """
+        assert lint(source, rules=("guarded-by",)) == []
+
+    def test_closure_does_not_inherit_the_held_lock(self):
+        body = """
+        with self._lock:
+            def later():
+                return self._total
+            return later
+        """
+        findings = lint(_guarded(body), rules=("guarded-by",))
+        assert rule_names(findings) == ["guarded-by"]
+
+    def test_wrong_lock_does_not_satisfy_the_guard(self):
+        source = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._other = threading.Lock()
+                self._total = 0  # guarded-by: _lock
+
+            def read(self):
+                with self._other:
+                    return self._total
+        """
+        findings = lint(source, rules=("guarded-by",))
+        assert rule_names(findings) == ["guarded-by"]
+
+    def test_own_line_annotation_attaches_to_next_assignment(self):
+        source = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                # guarded-by: _lock
+                self._pending = []
+
+            def read(self):
+                return self._pending
+        """
+        findings = lint(source, rules=("guarded-by",))
+        assert rule_names(findings) == ["guarded-by"]
+        assert "self._pending" in findings[0].message
+
+    def test_dangling_annotation_is_flagged(self):
+        source = """
+        class Box:
+            def read(self):
+                # guarded-by: _lock
+                return 1
+        """
+        findings = lint(source, rules=("guarded-by",))
+        assert rule_names(findings) == ["guarded-by"]
+        assert findings[0].message == DANGLING_MESSAGE
+
+    def test_nested_with_holds_both_locks(self):
+        source = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+                self._x = 0  # guarded-by: _b
+
+            def bump(self):
+                with self._a:
+                    with self._b:
+                        self._x += 1
+        """
+        assert lint(source, rules=("guarded-by",)) == []
+
+
+# ----------------------------------------------------------------------
+# float-determinism
+# ----------------------------------------------------------------------
+class TestFloatDeterminism:
+    def test_sum_over_set_is_flagged(self):
+        findings = lint(
+            "total = sum({a, b, c})\n", rules=("float-determinism",)
+        )
+        assert rule_names(findings) == ["float-determinism"]
+
+    def test_sum_over_set_call_and_comprehension(self):
+        assert rule_names(
+            lint("total = sum(set(values))\n", rules=("float-determinism",))
+        ) == ["float-determinism"]
+        assert rule_names(
+            lint("total = sum(x * 2 for x in {1.0, 2.0})\n",
+                 rules=("float-determinism",))
+        ) == ["float-determinism"]
+
+    def test_sum_over_set_algebra_is_flagged(self):
+        findings = lint(
+            "total = sum(arrived - failed)\n".replace(
+                "arrived - failed", "set(a) - set(b)"
+            ),
+            rules=("float-determinism",),
+        )
+        assert rule_names(findings) == ["float-determinism"]
+
+    def test_sum_over_dict_view_is_flagged(self):
+        findings = lint(
+            "total = sum(weights.values())\n", rules=("float-determinism",)
+        )
+        assert rule_names(findings) == ["float-determinism"]
+        assert ".values()" in findings[0].message
+
+    def test_loop_accumulation_over_set_is_flagged(self):
+        source = """
+        total = 0.0
+        for value in {1.0, 2.0}:
+            total += value
+        """
+        findings = lint(source, rules=("float-determinism",))
+        assert rule_names(findings) == ["float-determinism"]
+
+    def test_sorted_iteration_is_clean(self):
+        source = """
+        total = sum(sorted({1.0, 2.0}))
+        other = sum(weights[k] for k in sorted(weights))
+        acc = 0.0
+        for value in sorted(values):
+            acc += value
+        """
+        assert lint(source, rules=("float-determinism",)) == []
+
+    def test_rule_is_library_scoped(self):
+        assert lint("total = sum({a, b})\n", rel_path="tests/test_a.py",
+                    rules=("float-determinism",)) == []
+
+
+# ----------------------------------------------------------------------
+# state-dict-symmetry
+# ----------------------------------------------------------------------
+class TestStateDictSymmetry:
+    def test_saver_without_loader_is_flagged(self):
+        source = """
+        class Thing:
+            def state_dict(self):
+                return {}
+        """
+        findings = lint(source, rules=("state-dict-symmetry",))
+        assert rule_names(findings) == ["state-dict-symmetry"]
+        assert "Thing" in findings[0].message
+
+    def test_symmetric_pair_is_clean(self):
+        source = """
+        class Thing:
+            def state_dict(self):
+                return {}
+
+            def load_state_dict(self, state):
+                pass
+        """
+        assert lint(source, rules=("state-dict-symmetry",)) == []
+
+    def test_from_state_dict_counts_as_loader(self):
+        source = """
+        class Delta:
+            def state_dict(self):
+                return {}
+
+            @classmethod
+            def from_state_dict(cls, state):
+                return cls()
+        """
+        assert lint(source, rules=("state-dict-symmetry",)) == []
+
+    def test_loader_only_without_bases_is_flagged(self):
+        source = """
+        class Thing:
+            def load_state_dict(self, state):
+                pass
+        """
+        findings = lint(source, rules=("state-dict-symmetry",))
+        assert rule_names(findings) == ["state-dict-symmetry"]
+
+    def test_loader_only_subclass_inherits_the_saver(self):
+        source = """
+        class LightGCN(Base):
+            def load_state_dict(self, state):
+                pass
+        """
+        assert lint(source, rules=("state-dict-symmetry",)) == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_justified_suppression_silences_the_finding(self):
+        findings = lint(
+            "import numpy as np  # repro: disable=backend-purity -- index math only\n",
+            rules=("backend-purity",),
+        )
+        assert findings == []
+
+    def test_own_line_suppression_governs_the_next_line(self):
+        source = """
+        # repro: disable=backend-purity -- index math only
+        import numpy as np
+        """
+        assert lint(source, rules=("backend-purity",)) == []
+
+    def test_missing_justification_is_flagged_and_suppresses_nothing(self):
+        findings = lint(
+            "import numpy as np  # repro: disable=backend-purity\n",
+            rules=("backend-purity",),
+        )
+        assert sorted(rule_names(findings)) == ["backend-purity", "bad-suppression"]
+
+    def test_unknown_rule_name_is_flagged(self):
+        findings = lint(
+            "x = 1  # repro: disable=no-such-rule -- because\n",
+            rules=("backend-purity",),
+        )
+        assert rule_names(findings) == ["bad-suppression"]
+        assert "no-such-rule" in findings[0].message
+
+    def test_file_wide_suppression(self):
+        source = """
+        # repro: disable-file=backend-purity -- serving boundary shim
+        import numpy as np
+        from numpy import float64
+        """
+        assert lint(source, rules=("backend-purity",)) == []
+
+    def test_suppression_only_covers_named_rules(self):
+        findings = lint(
+            "import numpy as np  # repro: disable=rng-hygiene -- wrong rule\n",
+            rules=("backend-purity",),
+        )
+        assert rule_names(findings) == ["backend-purity"]
+
+    def test_meta_findings_cannot_be_suppressed(self):
+        findings = lint(
+            "x = 1  # repro: disable=bad-suppression\n",
+            rules=("backend-purity",),
+        )
+        assert rule_names(findings) == ["bad-suppression"]
+
+    def test_parse_error_is_reported_as_a_finding(self):
+        findings = lint("def broken(:\n")
+        assert rule_names(findings) == ["parse-error"]
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_roundtrip_grandfathers_the_recorded_findings(self, tmp_path):
+        findings = lint("import numpy as np\n", rules=("backend-purity",))
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        new, grandfathered, stale = apply_baseline(findings, load_baseline(path))
+        assert new == []
+        assert len(grandfathered) == 1
+        assert stale == 0
+
+    def test_matching_ignores_line_drift(self):
+        recorded = Finding("src/repro/a.py", 10, 0, "backend-purity", "msg")
+        moved = Finding("src/repro/a.py", 42, 4, "backend-purity", "msg")
+        new, grandfathered, stale = apply_baseline(
+            [moved], Counter({recorded.key: 1})
+        )
+        assert new == [] and grandfathered == [moved] and stale == 0
+
+    def test_stale_entries_are_counted(self):
+        new, grandfathered, stale = apply_baseline(
+            [], Counter({("src/repro/gone.py", "rule", "msg"): 2})
+        )
+        assert (new, grandfathered, stale) == ([], [], 2)
+
+    def test_fresh_findings_stay_new(self):
+        fresh = Finding("src/repro/a.py", 1, 0, "backend-purity", "msg")
+        new, _grandfathered, _stale = apply_baseline([fresh], Counter())
+        assert new == [fresh]
+
+    def test_unsupported_version_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+class TestReporters:
+    def test_text_report_renders_location_and_summary(self):
+        finding = Finding("src/repro/a.py", 3, 7, "backend-purity", "leak")
+        text = render_text([finding], [], 0, 5)
+        assert "src/repro/a.py:3:7: backend-purity: leak" in text
+        assert "1 new finding(s) [backend-purity: 1]" in text
+        assert "5 file(s) analysed" in text
+
+    def test_json_report_shape_is_stable(self):
+        finding = Finding("src/repro/a.py", 3, 7, "backend-purity", "leak")
+        report = render_json([finding], [], 2, 5)
+        assert report["version"] == 1
+        assert report["summary"] == {
+            "new": 1,
+            "grandfathered": 0,
+            "stale_baseline_entries": 2,
+            "files_analysed": 5,
+            "by_rule": {"backend-purity": 1},
+        }
+        assert report["findings"][0]["line"] == 3
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+@pytest.fixture
+def lint_tree(tmp_path, monkeypatch):
+    """A tiny repo-shaped tree with one violating and one clean file."""
+    pkg = tmp_path / "src" / "repro" / "pkg"
+    pkg.mkdir(parents=True)
+    (pkg / "dirty.py").write_text("import numpy as np\n")
+    (pkg / "clean.py").write_text("import json\n")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestCli:
+    def test_violations_exit_1_and_render(self, lint_tree, capsys):
+        assert main(["src"]) == 1
+        out = capsys.readouterr().out
+        assert "src/repro/pkg/dirty.py" in out
+        assert "backend-purity" in out
+
+    def test_clean_run_exits_0(self, lint_tree, capsys):
+        assert main(["src/repro/pkg/clean.py"]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_rule_subset(self, lint_tree, capsys):
+        assert main(["--rules", "rng-hygiene", "src"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_rule_exits_2(self, lint_tree, capsys):
+        assert main(["--rules", "no-such-rule", "src"]) == 2
+        capsys.readouterr()
+
+    def test_missing_path_exits_2(self, lint_tree, capsys):
+        assert main(["no/such/dir"]) == 2
+        capsys.readouterr()
+
+    def test_no_paths_exits_2(self, lint_tree, capsys):
+        assert main([]) == 2
+        capsys.readouterr()
+
+    def test_unreadable_baseline_exits_2(self, lint_tree, capsys):
+        Path("analysis-baseline.json").write_text("{}")
+        assert main(["src"]) == 2
+        capsys.readouterr()
+
+    def test_write_baseline_then_rerun_is_green(self, lint_tree, capsys):
+        assert main(["--write-baseline", "src"]) == 1  # non-empty baseline
+        assert main(["src"]) == 0  # grandfathered now
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+        # the violation is still visible on demand
+        assert main(["--show-baselined", "src"]) == 0
+        assert "grandfathered" in capsys.readouterr().out
+
+    def test_no_baseline_flag_ignores_the_file(self, lint_tree, capsys):
+        assert main(["--write-baseline", "src"]) == 1
+        assert main(["--no-baseline", "src"]) == 1
+        capsys.readouterr()
+
+    def test_json_report_artifact(self, lint_tree, capsys):
+        assert main(["--json", "report.json", "src"]) == 1
+        capsys.readouterr()
+        report = json.loads(Path("report.json").read_text())
+        assert report["summary"]["new"] == 1
+        assert report["summary"]["by_rule"] == {"backend-purity": 1}
+
+    def test_json_format_on_stdout(self, lint_tree, capsys):
+        assert main(["--format", "json", "src"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["findings"][0]["rule"] == "backend-purity"
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in ("backend-purity", "rng-hygiene", "guarded-by",
+                     "float-determinism", "state-dict-symmetry"):
+            assert name in out
+
+    def test_get_rules_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="unknown rule"):
+            get_rules(["nope"])
+
+
+# ----------------------------------------------------------------------
+# Self-run: the repository is clean modulo its checked-in baseline
+# ----------------------------------------------------------------------
+class TestSelfRun:
+    def test_repository_is_clean_modulo_baseline(self):
+        findings, files = analyze_paths(
+            [str(REPO / "src"), str(REPO / "tests"), str(REPO / "benchmarks")],
+            root=REPO,
+        )
+        baseline = load_baseline(REPO / "analysis-baseline.json")
+        new, _grandfathered, _stale = apply_baseline(findings, baseline)
+        assert new == [], "\n".join(finding.render() for finding in new)
+        assert files > 100  # the walk really covered the tree

@@ -14,6 +14,7 @@ import repro
 from repro.artifacts import CheckpointEveryK
 from repro.eval.ranking import RankingEvaluator
 from repro.experiments import ExperimentSpec, create_trainer
+from repro.models.mf import MatrixFactorization
 from repro.models.popularity import PopularityRecommender
 from repro.serve import Recommender, batch_scores
 
@@ -320,6 +321,124 @@ class TestCacheThreadSafety:
         assert len(service._cache) <= 8
         # Every lookup was tallied exactly once, under the lock.
         assert service.cache_hits + service.cache_misses == 8 * 200
+
+
+class TestReloadRaceConsistency:
+    """Regression for the worst finding of the `guarded-by` lint sweep.
+
+    Before the snapshot refactor, ``scores()``/``recommend()`` read
+    ``model``/``_popularity``/``_item_mask``/``_seen`` *outside* the
+    service lock while ``reload()`` replaced them under it: a query racing
+    a reload could return rows from the retired model cut by the new
+    catalogue state, and a late ``_cache_put`` could poison the fresh
+    cache with retired-model rows.  Every query now runs on one
+    epoch-stamped snapshot; this test hammers exactly that interleaving.
+    """
+
+    def test_reload_under_load_never_tears_a_snapshot(self, tiny_dataset, rngs):
+        import threading
+
+        users = [int(user) for user in tiny_dataset.users]
+        model_a = MatrixFactorization(
+            tiny_dataset.num_users, tiny_dataset.num_items,
+            embedding_dim=4, rng=rngs.spawn("race-model-a"),
+        )
+        model_b = MatrixFactorization(
+            tiny_dataset.num_users, tiny_dataset.num_items,
+            embedding_dim=4, rng=rngs.spawn("race-model-b"),
+        )
+        # Pin exactly-representable embeddings (multiples of 2^-3): every
+        # partial product is exact, so scores are bit-identical regardless
+        # of cohort size or BLAS blocking and each row's generation is
+        # decidable by exact comparison.
+        user_col = (np.arange(tiny_dataset.num_users, dtype=np.float64) + 1.0) * 0.125
+        item_col = (np.arange(tiny_dataset.num_items, dtype=np.float64) + 1.0) * 0.125
+        for sign, model in ((1.0, model_a), (-1.0, model_b)):
+            model.user_embedding.weight.data[:] = sign * user_col[:, None]
+            model.item_embedding.weight.data[:] = item_col[:, None]
+        expected = {
+            id(model): {
+                user: row
+                for user, row in zip(users, batch_scores(model, np.asarray(users)))
+            }
+            for model in (model_a, model_b)
+        }
+        assert not np.array_equal(  # the two generations must be tellable apart
+            expected[id(model_a)][users[0]], expected[id(model_b)][users[0]]
+        )
+        seen = {user: tiny_dataset.train_items(user) for user in users}
+        service = Recommender(model_a, seen_items=seen, cache_size=8)
+
+        stop = threading.Event()
+        errors = []
+        lookups = [0] * 4
+
+        def reader(slot: int) -> None:
+            rng = np.random.default_rng(slot)
+            try:
+                while not stop.is_set():
+                    cohort = [int(u) for u in rng.choice(users, size=4, replace=False)]
+                    rows = service.scores(cohort)
+                    lookups[slot] += len(cohort)
+                    generations = set()
+                    for user, row in zip(cohort, rows):
+                        if np.array_equal(row, expected[id(model_a)][user]):
+                            generations.add("a")
+                        elif np.array_equal(row, expected[id(model_b)][user]):
+                            generations.add("b")
+                        else:
+                            raise AssertionError(
+                                f"user {user}: row matches neither model generation"
+                            )
+                    if len(generations) != 1:
+                        raise AssertionError(
+                            "one scores() call mixed rows from both generations"
+                        )
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+                stop.set()
+
+        threads = [threading.Thread(target=reader, args=(slot,)) for slot in range(4)]
+        for thread in threads:
+            thread.start()
+        # Hammer reloads while the readers run: 200 model flips, each
+        # clearing the cache and bumping the epoch.
+        for index in range(200):
+            service.reload(model_b if index % 2 == 0 else model_a)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors[:1]
+        # Telemetry stayed exact under the stampede: every warm lookup
+        # tallied exactly one hit or miss (no cold users in the cohorts).
+        assert service.cache_hits + service.cache_misses == sum(lookups)
+        assert service.cold_hits == 0
+        assert len(service._cache) <= 8
+
+    def test_stale_put_cannot_poison_a_fresh_cache(self, tiny_dataset, rngs):
+        """Deterministic replay of the ABA interleaving: a row computed
+        against the pre-reload snapshot must be dropped, not cached."""
+        users = [int(user) for user in tiny_dataset.users[:3]]
+        model_a = MatrixFactorization(
+            tiny_dataset.num_users, tiny_dataset.num_items,
+            embedding_dim=4, rng=rngs.spawn("stale-a"),
+        )
+        model_b = MatrixFactorization(
+            tiny_dataset.num_users, tiny_dataset.num_items,
+            embedding_dim=4, rng=rngs.spawn("stale-b"),
+        )
+        service = Recommender(model_a, seen_items={u: [] for u in users})
+        stale = service._snapshot()  # a reader captured the old generation...
+        service.reload(model_b)  # ...then the swap landed
+        row_a = service._scores_from(stale, [users[0]])[0]  # late completion
+        np.testing.assert_array_equal(
+            row_a, batch_scores(model_a, np.asarray(users[:1]))[0]
+        )
+        assert not service._cache, "stale-epoch row must not enter the new cache"
+        row_b = service.scores([users[0]])[0]
+        np.testing.assert_array_equal(
+            row_b, batch_scores(model_b, np.asarray(users[:1]))[0]
+        )
 
 
 class TestFromCheckpoint:
