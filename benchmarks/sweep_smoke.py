@@ -1,0 +1,104 @@
+"""CI smoke for the sweep orchestrator: cache contract + telemetry artifact.
+
+    python benchmarks/sweep_smoke.py [backend] [out.json]
+
+Runs a 2x2 grid (alpha x seed, 2-round PTF on the debug dataset) twice
+against one fresh store and asserts the orchestrator's cache contract:
+
+* first invocation executes all 4 runs (nothing pre-cached),
+* second invocation executes **zero** runs — every fingerprint hits the
+  cache — and reproduces the same results,
+
+then writes both invocations' telemetry reports to ``out.json`` (the CI
+``sweep-smoke`` job uploads it as a workflow artifact).  ``backend``
+pins every run's tensor backend (default ``numpy``), so the job's matrix
+exercises the fingerprint separation between backends too.
+
+Exit codes: 0 — contract holds; 1 — it does not.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.sweep import SweepSpec, run_sweep
+
+GRID = {"alpha": [10, 30], "seed": [0, 1]}
+
+
+def build_sweep(backend: str) -> SweepSpec:
+    return SweepSpec.from_grid(
+        "sweep-smoke",
+        base={
+            "trainer": "ptf",
+            "backend": backend,
+            "protocol": {"rounds": 2},
+            "evaluation": {"audit_privacy": False},
+        },
+        grid=GRID,
+        dataset={"source": "debug", "seed": 7},
+    )
+
+
+def comparable(outcome):
+    return {
+        run_id: {k: v for k, v in result.to_dict().items() if k != "duration_seconds"}
+        for run_id, result in outcome.results.items()
+    }
+
+
+def main(argv) -> int:
+    backend = argv[1] if len(argv) > 1 else "numpy"
+    out_path = Path(argv[2]) if len(argv) > 2 else Path(f"sweep-smoke-{backend}.json")
+
+    sweep = build_sweep(backend)
+    with tempfile.TemporaryDirectory(prefix="sweep-smoke-") as store:
+        start = time.perf_counter()
+        first = run_sweep(sweep, store=store, progress=print)
+        first_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        second = run_sweep(sweep, store=store, progress=print)
+        second_wall = time.perf_counter() - start
+
+    failures = []
+    if first.report.executed != len(sweep.runs):
+        failures.append(
+            f"first invocation executed {first.report.executed} of {len(sweep.runs)} runs"
+        )
+    if second.report.executed != 0:
+        failures.append(
+            f"second invocation executed {second.report.executed} runs; expected 0"
+        )
+    if second.report.cache_hits != len(sweep.runs):
+        failures.append(
+            f"second invocation hit cache {second.report.cache_hits} times; "
+            f"expected {len(sweep.runs)}"
+        )
+    if comparable(second) != comparable(first):
+        failures.append("cached results differ from executed results")
+
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps({
+        "backend": backend,
+        "first": {**first.report.to_dict(), "invocation_wall_seconds": first_wall},
+        "second": {**second.report.to_dict(), "invocation_wall_seconds": second_wall},
+        "contract_failures": failures,
+    }, indent=2), encoding="utf-8")
+    print(f"first:  {first.report.summary()}")
+    print(f"second: {second.report.summary()}")
+    print(f"telemetry written to {out_path}")
+
+    if failures:
+        for failure in failures:
+            print(f"CONTRACT VIOLATION: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

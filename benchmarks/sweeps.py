@@ -1,0 +1,206 @@
+"""Sweep definitions for the paper's tables and figures.
+
+One module owns the *declarative* description of every multi-experiment
+artifact — which experiments run on which datasets and how their results
+are aggregated — so the pytest benchmarks (``test_table3_effectiveness``,
+``test_table4_communication``, ``test_fig4_alpha_sweep``) and the one-shot
+regenerator (``benchmarks/paper_artifacts.py``) execute the exact same
+runs through :class:`repro.sweep.Sweep` and share its fingerprint cache.
+
+Every experiment spec here reproduces the hand-rolled loops the benchmarks
+used before the sweep runner existed (the spec builders live in
+``conftest.py`` and are shared with the remaining direct-style
+benchmarks); ``test_sweep_orchestrator.py`` asserts the equivalence stays
+``==``-exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from conftest import (
+    DATASET_NAMES,
+    PAPER_NAMES,
+    baseline_spec,
+    centralized_spec,
+    mini_dataset,
+    ptf_spec,
+)
+
+from repro.sweep import RunSpec, StageSpec, SweepSpec
+
+#: Model line-up of Table III, in the paper's row order.
+CENTRALIZED_MODELS = ("neumf", "ngcf", "lightgcn")
+BASELINES = ("fcf", "fedmf", "metamf")
+PTF_SERVER_MODELS = ("neumf", "ngcf", "lightgcn")
+
+#: Method display names, keyed by the run-id method segment.
+METHOD_LABELS = {
+    **{f"centralized-{m}": f"Centralized {m.upper()}" for m in CENTRALIZED_MODELS},
+    "fcf": "FCF",
+    "fedmf": "FedMF",
+    "metamf": "MetaMF",
+    **{f"ptf-{m}": f"PTF-FedRec({m.upper()})" for m in PTF_SERVER_MODELS},
+}
+
+#: Figure 4's sweep over the dispersed dataset size.
+ALPHA_VALUES = (10, 30, 50, 70, 90)
+ALPHA_ROUNDS = 8
+
+
+def run_id(dataset: str, method: str) -> str:
+    """The ``<dataset>/<method>`` naming every sweep here uses."""
+    return f"{dataset}/{method}"
+
+
+# ----------------------------------------------------------------------
+# Table III — recommendation performance of all methods on all datasets
+# ----------------------------------------------------------------------
+def table3_sweep(datasets: Sequence[str] = DATASET_NAMES) -> SweepSpec:
+    """Nine methods per dataset, aggregated into final ranking metrics."""
+    runs: List[RunSpec] = []
+    for name in datasets:
+        dataset = mini_dataset(name)
+        for model in CENTRALIZED_MODELS:
+            runs.append(RunSpec(run_id(name, f"centralized-{model}"),
+                                centralized_spec(model), dataset))
+        for baseline in BASELINES:
+            runs.append(RunSpec(run_id(name, baseline),
+                                baseline_spec(baseline), dataset))
+        for model in PTF_SERVER_MODELS:
+            # audit_privacy=False: the hand-rolled loop never audited —
+            # the Top Guess Attack is Table V's job, and the audit does
+            # not touch the ranking metrics this table reports.
+            runs.append(RunSpec(run_id(name, f"ptf-{model}"),
+                                ptf_spec(model, audit_privacy=False), dataset))
+    return SweepSpec(
+        name="table3",
+        runs=runs,
+        stages=[StageSpec(name="metrics", aggregator="final-metrics")],
+    )
+
+
+def table3_results(metrics: Dict[str, Dict[str, float]],
+                   datasets: Sequence[str] = DATASET_NAMES) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Reshape the ``metrics`` stage into the benchmark's nested layout:
+    ``{dataset: {method label: {"Recall@20": ..., "NDCG@20": ...}}}``."""
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in datasets:
+        results[name] = {}
+        for method, label in METHOD_LABELS.items():
+            entry = metrics[run_id(name, method)]
+            results[name][label] = {
+                "Recall@20": entry[f"Recall@{entry['k']}"],
+                "NDCG@20": entry[f"NDCG@{entry['k']}"],
+            }
+    return results
+
+
+def table3_rows(results: Dict[str, Dict[str, Dict[str, float]]],
+                datasets: Sequence[str] = DATASET_NAMES) -> List[List]:
+    """Rows for :func:`conftest.print_table` (method x dataset metrics)."""
+    rows = []
+    for label in METHOD_LABELS.values():
+        row: List = [label]
+        for name in datasets:
+            metrics = results[name][label]
+            row.extend([metrics["Recall@20"], metrics["NDCG@20"]])
+        rows.append(row)
+    return rows
+
+
+def table3_header(datasets: Sequence[str] = DATASET_NAMES) -> List[str]:
+    header = ["Method"]
+    for name in datasets:
+        header.extend([f"{PAPER_NAMES[name]} R@20", f"{PAPER_NAMES[name]} N@20"])
+    return header
+
+
+# ----------------------------------------------------------------------
+# Table IV — measured per-client per-round communication cost
+# ----------------------------------------------------------------------
+def table4_sweep(datasets: Sequence[str] = DATASET_NAMES) -> SweepSpec:
+    """Short runs of every communicating paradigm, aggregated into ledger
+    totals (the analytic paper-scale half of Table IV needs no training —
+    see ``test_table4_communication.py``)."""
+    runs: List[RunSpec] = []
+    for name in datasets:
+        dataset = mini_dataset(name)
+        for baseline in BASELINES:
+            runs.append(RunSpec(
+                run_id(name, baseline),
+                baseline_spec(baseline, rounds=2, client_local_epochs=1),
+                dataset,
+            ))
+        runs.append(RunSpec(
+            run_id(name, "ptf"),
+            ptf_spec("ngcf", rounds=2, client_local_epochs=1, server_epochs=1,
+                     audit_privacy=False),
+            dataset,
+        ))
+    return SweepSpec(
+        name="table4",
+        runs=runs,
+        stages=[StageSpec(name="communication", aggregator="communication")],
+    )
+
+
+def table4_costs(communication: Dict[str, Dict[str, float]],
+                 datasets: Sequence[str] = DATASET_NAMES) -> Dict[str, Dict[str, float]]:
+    """``{dataset: {method label: KB per client per round}}`` from the
+    ``communication`` stage."""
+    costs: Dict[str, Dict[str, float]] = {}
+    for name in datasets:
+        costs[name] = {
+            "FCF": communication[run_id(name, "fcf")]["average_client_round_kilobytes"],
+            "FedMF": communication[run_id(name, "fedmf")]["average_client_round_kilobytes"],
+            "MetaMF": communication[run_id(name, "metamf")]["average_client_round_kilobytes"],
+            "PTF-FedRec": communication[run_id(name, "ptf")]["average_client_round_kilobytes"],
+        }
+    return costs
+
+
+def table4_rows(costs: Dict[str, Dict[str, float]],
+                datasets: Sequence[str] = DATASET_NAMES) -> List[List[str]]:
+    rows = []
+    for name in datasets:
+        entry = costs[name]
+        rows.append([
+            PAPER_NAMES[name],
+            f"{entry['FCF']:.1f} KB",
+            f"{entry['FedMF']:.1f} KB",
+            f"{entry['MetaMF']:.1f} KB",
+            f"{entry['PTF-FedRec']:.2f} KB",
+            f"{min(entry['FCF'], entry['MetaMF']) / entry['PTF-FedRec']:.0f}x",
+        ])
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — impact of the dispersed dataset size alpha
+# ----------------------------------------------------------------------
+def fig4_sweep(dataset: str = "movielens-mini") -> SweepSpec:
+    """PTF-FedRec(NGCF) across the paper's alpha grid on one dataset."""
+    runs = [
+        RunSpec(
+            f"alpha={alpha}",
+            ptf_spec("ngcf", alpha=alpha, rounds=ALPHA_ROUNDS, audit_privacy=False),
+            mini_dataset(dataset),
+        )
+        for alpha in ALPHA_VALUES
+    ]
+    return SweepSpec(
+        name="fig4",
+        runs=runs,
+        stages=[StageSpec(name="metrics", aggregator="final-metrics")],
+    )
+
+
+def fig4_series(metrics: Dict[str, Dict[str, float]]) -> List[tuple]:
+    """The benchmark's ``(alpha, ndcg, recall)`` series from the stage."""
+    series = []
+    for alpha in ALPHA_VALUES:
+        entry = metrics[f"alpha={alpha}"]
+        k = entry["k"]
+        series.append((alpha, entry[f"NDCG@{k}"], entry[f"Recall@{k}"]))
+    return series

@@ -5,35 +5,29 @@ the clients of server knowledge, too many drown out their private data, so
 NDCG rises to a peak (α ≈ 30-50) and then falls.  The bench reproduces the
 series on the MovieLens miniature and checks that the extremes do not beat
 the middle of the sweep.
+
+The five runs execute as one :mod:`repro.sweep` sweep (``sweeps.py``,
+shared with ``paper_artifacts.py``), fingerprint-cached per α value.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from conftest import TOP_K, build_dataset, mini_ptf_config, print_table
+from conftest import print_table
+from sweeps import fig4_series, fig4_sweep
 
-from repro.core import PTFFedRec
-
-ALPHA_VALUES = (10, 30, 50, 70, 90)
-ALPHA_ROUNDS = 8
+from repro.sweep import run_sweep
 
 
-def _run():
-    dataset = build_dataset("movielens-mini")
-    series = []
-    for alpha in ALPHA_VALUES:
-        config = mini_ptf_config(server_model="ngcf", alpha=alpha, rounds=ALPHA_ROUNDS)
-        system = PTFFedRec(dataset, config)
-        system.fit()
-        result = system.evaluate(k=TOP_K)
-        series.append((alpha, result.ndcg, result.recall))
-    return series
+def _run(sweep_store):
+    outcome = run_sweep(fig4_sweep(), store=sweep_store)
+    return fig4_series(outcome.stages["metrics"])
 
 
 @pytest.mark.benchmark(group="fig4")
-def test_fig4_alpha_sweep(benchmark):
-    series = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_fig4_alpha_sweep(benchmark, sweep_store):
+    series = benchmark.pedantic(lambda: _run(sweep_store), rounds=1, iterations=1)
     print_table(
         "Figure 4 — dispersed dataset size α (MovieLens mini)",
         ["alpha", "NDCG@20", "Recall@20"],

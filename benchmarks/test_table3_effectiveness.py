@@ -10,57 +10,40 @@ qualitative claims checked here:
   (NGCF/LightGCN > NeuMF),
 * centralized training remains the overall ceiling (up to mini-scale
   noise, see EXPERIMENTS.md).
+
+The 27 experiments run as one :mod:`repro.sweep` sweep (defined in
+``sweeps.py``, shared with ``paper_artifacts.py``): fingerprint-cached, so
+any run another benchmark in this session already trained is free, and the
+whole table resumes rather than restarts if interrupted.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from conftest import (
-    DATASET_NAMES,
-    PAPER_NAMES,
-    build_dataset,
-    print_table,
-    run_centralized,
-    run_federated_baseline,
-    run_ptf,
-)
+from conftest import DATASET_NAMES, print_table
+from sweeps import table3_header, table3_results, table3_rows, table3_sweep
+
+from repro.sweep import run_sweep
 
 
-def _run_dataset(name):
-    dataset = build_dataset(name)
-    results = {}
-    for model in ("neumf", "ngcf", "lightgcn"):
-        results[f"Centralized {model.upper()}"] = run_centralized(dataset, model)
-    for baseline in ("FCF", "FedMF", "MetaMF"):
-        results[baseline] = run_federated_baseline(dataset, baseline)[0]
-    for server_model in ("neumf", "ngcf", "lightgcn"):
-        results[f"PTF-FedRec({server_model.upper()})"] = run_ptf(dataset, server_model)[0]
-    return results
-
-
-def _rows(all_results):
-    rows = []
-    for method in next(iter(all_results.values())):
-        row = [method]
-        for name in DATASET_NAMES:
-            metrics = all_results[name][method]
-            row.extend([metrics["Recall@20"], metrics["NDCG@20"]])
-        rows.append(row)
-    return rows
+def _run_sweep(sweep_store):
+    outcome = run_sweep(table3_sweep(), store=sweep_store)
+    return table3_results(outcome.stages["metrics"])
 
 
 @pytest.mark.benchmark(group="table3")
-def test_table3_effectiveness(benchmark):
+def test_table3_effectiveness(benchmark, sweep_store):
     all_results = benchmark.pedantic(
-        lambda: {name: _run_dataset(name) for name in DATASET_NAMES},
+        lambda: _run_sweep(sweep_store),
         rounds=1,
         iterations=1,
     )
-    header = ["Method"]
-    for name in DATASET_NAMES:
-        header.extend([f"{PAPER_NAMES[name]} R@20", f"{PAPER_NAMES[name]} N@20"])
-    print_table("Table III — recommendation performance (mini scale)", header, _rows(all_results))
+    print_table(
+        "Table III — recommendation performance (mini scale)",
+        table3_header(),
+        table3_rows(all_results),
+    )
 
     for name in DATASET_NAMES:
         results = all_results[name]

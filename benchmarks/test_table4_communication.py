@@ -5,30 +5,26 @@ client per round and FedMF tens of MB, while PTF-FedRec moves only a few
 KB of prediction triples.  The bench reports both the analytic cost at the
 paper's full dataset sizes and the measured ledger values from short runs
 on the miniature datasets.
+
+The measured half runs as one :mod:`repro.sweep` sweep (``sweeps.py``,
+shared with ``paper_artifacts.py``), its ``communication`` stage
+aggregating every run's ledger totals; the analytic half is arithmetic and
+needs no training at all.
 """
 
 from __future__ import annotations
 
-from conftest import (
-    DATASET_NAMES,
-    PAPER_NAMES,
-    build_dataset,
-    mini_federated_config,
-    mini_ptf_config,
-    print_table,
-)
+from conftest import print_table
+from sweeps import table4_costs, table4_rows, table4_sweep
 
-from repro.core import PTFFedRec
 from repro.data import PAPER_SPECS
 from repro.federated import (
-    FCF,
-    FedMF,
-    MetaMF,
     dense_parameter_bytes,
     encrypted_parameter_bytes,
     prediction_triple_bytes,
 )
 from repro.federated.fedmf import DEFAULT_CIPHERTEXT_BYTES
+from repro.sweep import run_sweep
 
 EMBEDDING_DIM = 32  # the paper's embedding size, used for the analytic rows
 
@@ -54,37 +50,14 @@ def _analytic_rows():
     return rows
 
 
-def _measured_rows():
-    rows = []
-    for name in DATASET_NAMES:
-        dataset = build_dataset(name)
-        fed_config = mini_federated_config(rounds=2, local_epochs=1)
-        systems = {
-            "FCF": FCF(dataset, fed_config),
-            "FedMF": FedMF(dataset, fed_config),
-            "MetaMF": MetaMF(dataset, fed_config),
-        }
-        costs = {}
-        for label, system in systems.items():
-            system.fit()
-            costs[label] = system.ledger.average_client_round_kilobytes()
-        ptf = PTFFedRec(dataset, mini_ptf_config(rounds=2, client_local_epochs=1, server_epochs=1))
-        ptf.fit()
-        costs["PTF-FedRec"] = ptf.average_client_round_kilobytes()
-        rows.append([
-            PAPER_NAMES[name],
-            f"{costs['FCF']:.1f} KB",
-            f"{costs['FedMF']:.1f} KB",
-            f"{costs['MetaMF']:.1f} KB",
-            f"{costs['PTF-FedRec']:.2f} KB",
-            f"{min(costs['FCF'], costs['MetaMF']) / costs['PTF-FedRec']:.0f}x",
-        ])
-    return rows
+def _measured_rows(sweep_store):
+    outcome = run_sweep(table4_sweep(), store=sweep_store)
+    return table4_rows(table4_costs(outcome.stages["communication"]))
 
 
-def test_table4_communication_costs(benchmark):
+def test_table4_communication_costs(benchmark, sweep_store):
     analytic, measured = benchmark.pedantic(
-        lambda: (_analytic_rows(), _measured_rows()), rounds=1, iterations=1
+        lambda: (_analytic_rows(), _measured_rows(sweep_store)), rounds=1, iterations=1
     )
     print_table(
         "Table IV (analytic, paper-scale datasets, dim=32)",

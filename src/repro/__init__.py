@@ -27,7 +27,11 @@ Recommender System" (ICDE 2024).  The package is organised bottom-up:
   resume_from=path)`` continues a checkpointed run bit-identically,
 * :mod:`repro.serve` — the query-time :class:`~repro.serve.Recommender`
   service: batched top-k recommendations from a saved artifact, with an
-  LRU score cache and a popularity cold-start fallback.
+  LRU score cache and a popularity cold-start fallback,
+* :mod:`repro.sweep` — declarative, parallel, fingerprint-cached sweeps:
+  a :class:`~repro.sweep.SweepSpec` of experiment grids plus derived
+  aggregation stages, executed by :class:`~repro.sweep.Sweep` with
+  crash-resume for free (``python -m repro.sweep sweep.json``).
 
 Quickstart::
 
@@ -61,6 +65,7 @@ from repro import (
     nn,
     optim,
     serve,
+    sweep,
     tensor,
     utils,
 )
@@ -83,6 +88,7 @@ __all__ = [
     "nn",
     "optim",
     "serve",
+    "sweep",
     "tensor",
     "utils",
     "PTFConfig",

@@ -642,6 +642,18 @@ class MultiprocessScheduler(Scheduler):
     schedulers are usually faster.  Bit-identical to serial: workers run
     the unmodified per-client code with the same derived RNG streams, and
     the parent aggregates results in cohort order.
+
+    Note the pool lifetime: a fresh pool is created *per shard, per round*,
+    because client objects mutate between rounds and must be re-shipped
+    anyway — a persistent pool would save only process startup, which is
+    small next to the state pickling this scheduler already pays.
+    Parallelism across whole *experiments* is different: runs are
+    independent and share nothing, so :class:`repro.sweep.SweepExecutor`
+    keeps one warm, pre-imported worker pool alive for the entire sweep
+    and ships only spec/dataset *recipes*.  Prefer sweep-level parallelism
+    (many runs, one core each) over this scheduler (one run, many cores)
+    when you control the workload shape — e.g. regenerating the paper's
+    tables with ``benchmarks/paper_artifacts.py``.
     """
 
     name = "multiprocess"

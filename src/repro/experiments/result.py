@@ -151,7 +151,12 @@ class RunResult:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
-        """Inverse of :meth:`to_dict` (the schema every trainer shares)."""
+        """Inverse of :meth:`to_dict` (the schema every trainer shares).
+
+        Tolerates — and ignores — the ``provenance`` block :meth:`save`
+        adds, and its absence: artifacts written before provenance was
+        recorded load unchanged.
+        """
         privacy = data.get("privacy")
         participation = data.get("participation")
         return cls(
@@ -173,11 +178,36 @@ class RunResult:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
+    def provenance(self) -> Dict[str, Any]:
+        """Audit fields describing where this result came from.
+
+        Recorded by :meth:`save` so a cached artifact answers "which spec
+        produced you, under which backend and repro build, and what did it
+        cost" without loading anything else.  Purely observational — the
+        block is ignored by :meth:`from_dict`, and artifacts written before
+        it existed still load.
+        """
+        import repro
+
+        return {
+            "spec_fingerprint": self.spec.fingerprint(),
+            "backend": self.spec.backend,
+            "wall_time_seconds": self.duration_seconds,
+            "repro_version": repro.__version__,
+        }
+
     def save(self, path: Union[str, Path]) -> Path:
-        """Write the result as a JSON document (parent dirs are created)."""
+        """Write the result as a JSON document (parent dirs are created).
+
+        The document is :meth:`to_dict` plus a :meth:`provenance` block
+        (spec fingerprint, backend, wall time, repro package version) so
+        saved artifacts are auditable; :meth:`from_dict` tolerates its
+        absence, so pre-provenance artifacts still load.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2), encoding="utf-8")
+        data = {**self.to_dict(), "provenance": self.provenance()}
+        path.write_text(json.dumps(data, indent=2), encoding="utf-8")
         return path
 
     @classmethod

@@ -37,6 +37,7 @@ produces the equivalent ``ExperimentSpec``.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Mapping, Optional, Tuple, Type
@@ -430,3 +431,51 @@ class ExperimentSpec:
     def from_json(cls, text: str) -> "ExperimentSpec":
         """Parse a spec from :meth:`to_json` output."""
         return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self, dataset_fingerprint: Optional[str] = None) -> str:
+        """Content hash identifying the *results* this spec determines.
+
+        The canonical (sorted-key, separator-stable) JSON of the spec is
+        hashed together with the backend name and — when given — the
+        dataset's SHA-256 (see :func:`repro.artifacts.dataset_fingerprint`),
+        so equal fingerprints mean "same trainer, same arithmetic, same
+        data": the artifact of one run can stand in for the other.  This is
+        the cache key of the :mod:`repro.sweep` orchestrator.
+
+        Fields that provably cannot change results are *excluded*, so a
+        cached artifact stays valid across execution strategies:
+
+        * the whole ``engine`` section — every scheduler, payload format
+          and shard size is bit-identical on a fixed seed (the PR 2/PR 7
+          contract, asserted by ``tests/test_scale_identity.py``),
+        * ``evaluation.batch_size`` — chunked and per-user ranking return
+          equal metrics (``tests/test_eval_batched.py``),
+        * ``evaluation.verbose`` — pure logging.
+
+        Everything else participates: a changed knob (seed, any protocol /
+        privacy / dispersal / scenario field, evaluation depth or cadence,
+        backend) changes the fingerprint and invalidates exactly the runs
+        it touches.
+
+        >>> a = ExperimentSpec(trainer="ptf")
+        >>> b = a.replace(alpha=50)
+        >>> a.fingerprint() == a.replace(scheduler="batched").fingerprint()
+        True
+        >>> a.fingerprint() == b.fingerprint()
+        False
+        """
+        data = self.to_dict()
+        data.pop("engine", None)
+        evaluation = data.get("evaluation", {})
+        evaluation.pop("batch_size", None)
+        evaluation.pop("verbose", None)
+        payload = {
+            "spec": data,
+            "backend": self.backend,
+            "dataset": dataset_fingerprint,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

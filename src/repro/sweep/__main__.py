@@ -1,0 +1,99 @@
+"""Command-line entry point: ``python -m repro.sweep <sweep.json>``.
+
+Executes a declarative sweep file (see :meth:`repro.sweep.SweepSpec.from_dict`
+for the format and ``docs/sweeps.md`` for a guide), prints each stage's
+output as JSON, and exits:
+
+* ``0`` — every run completed (executed or served from cache),
+* ``1`` — one or more runs failed (completed runs stay cached, so fixing
+  the failure and re-invoking performs only the missing work),
+* ``2`` — usage error: unreadable sweep file, invalid spec, bad DAG.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.sweep.runner import Sweep, SweepError
+from repro.sweep.spec import SweepSpec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Parallel, fingerprint-cached experiment sweeps (see docs/sweeps.md)",
+    )
+    parser.add_argument("sweep", help="path to a declarative sweep JSON file")
+    parser.add_argument(
+        "--store", default=None,
+        help="artifact store directory (default: sweep-artifacts-<name> "
+             "next to the sweep file)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: all cores, capped at 8; 1 = serial)",
+    )
+    parser.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the telemetry report JSON to PATH (the CI artifact)",
+    )
+    parser.add_argument(
+        "--stages-json", metavar="PATH", default=None,
+        help="additionally write every stage's output to PATH as JSON",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-run progress lines (the summary still prints)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    sweep_path = Path(args.sweep)
+    try:
+        spec = SweepSpec.from_json(sweep_path.read_text(encoding="utf-8"))
+    except OSError as error:
+        print(f"error: cannot read sweep file: {error}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError, json.JSONDecodeError) as error:
+        print(f"error: invalid sweep spec: {error}", file=sys.stderr)
+        return 2
+
+    store = args.store
+    if store is None:
+        store = str(sweep_path.resolve().parent / f"sweep-artifacts-{spec.name}")
+
+    progress = None if args.quiet else lambda line: print(line, file=sys.stderr)
+    try:
+        sweep = Sweep(spec, store=store, workers=args.workers, progress=progress)
+    except ValueError as error:
+        print(f"error: invalid sweep: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        outcome = sweep.run()
+    except SweepError as error:
+        print(error, file=sys.stderr)
+        return 1
+
+    if args.report:
+        outcome.report.save(args.report)
+    if args.stages_json:
+        path = Path(args.stages_json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(outcome.stages, indent=2), encoding="utf-8")
+    if outcome.stages:
+        print(json.dumps(outcome.stages, indent=2))
+    print(outcome.report.summary())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""Sweep telemetry: what ran, what was cached, what it cost.
+
+A :class:`SweepReport` is produced by every :meth:`repro.sweep.Sweep.run`
+and can be written as JSON (the CI ``sweep-smoke`` job uploads it as a
+workflow artifact).  Per run it records the cache disposition and wall
+time; for the sweep it derives the headline numbers — cache hit ratio and
+the parallel speedup against the serial cost of the work that actually
+executed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+
+@dataclass(frozen=True)
+class RunTelemetry:
+    """One run's execution record.
+
+    ``wall_time_seconds`` is the measured task time for executed runs and
+    the artifact's recorded training duration for cache hits (what the hit
+    *saved*, not what it cost — a cached lookup costs microseconds).
+    """
+
+    run_id: str
+    fingerprint: str
+    cached: bool
+    wall_time_seconds: float
+    trainer: str
+    backend: str
+    worker: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "fingerprint": self.fingerprint,
+            "cached": self.cached,
+            "wall_time_seconds": self.wall_time_seconds,
+            "trainer": self.trainer,
+            "backend": self.backend,
+            "worker": self.worker,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunTelemetry":
+        return cls(
+            run_id=str(data["run_id"]),
+            fingerprint=str(data["fingerprint"]),
+            cached=bool(data["cached"]),
+            wall_time_seconds=float(data["wall_time_seconds"]),
+            trainer=str(data["trainer"]),
+            backend=str(data["backend"]),
+            worker=data.get("worker"),
+        )
+
+
+@dataclass
+class SweepReport:
+    """The whole sweep's execution telemetry."""
+
+    sweep: str
+    workers: int
+    wall_time_seconds: float
+    runs: List[RunTelemetry] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Derived headline numbers
+    # ------------------------------------------------------------------
+    @property
+    def total_runs(self) -> int:
+        return len(self.runs)
+
+    @property
+    def executed(self) -> int:
+        """Runs that actually trained (cache misses)."""
+        return sum(1 for run in self.runs if not run.cached)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for run in self.runs if run.cached)
+
+    @property
+    def executed_seconds(self) -> float:
+        """Summed wall time of the cache misses — the serial cost of the
+        work this sweep actually performed."""
+        return sum(run.wall_time_seconds for run in self.runs if not run.cached)
+
+    @property
+    def saved_seconds(self) -> float:
+        """Summed recorded training time of the cache hits — what the
+        cache avoided recomputing."""
+        return sum(run.wall_time_seconds for run in self.runs if run.cached)
+
+    @property
+    def parallel_speedup(self) -> Optional[float]:
+        """Executed serial cost / sweep wall time (None when nothing ran)."""
+        if self.executed == 0 or self.wall_time_seconds <= 0.0:
+            return None
+        return self.executed_seconds / self.wall_time_seconds
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sweep": self.sweep,
+            "workers": self.workers,
+            "wall_time_seconds": self.wall_time_seconds,
+            "total_runs": self.total_runs,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "executed_seconds": self.executed_seconds,
+            "saved_seconds": self.saved_seconds,
+            "parallel_speedup": self.parallel_speedup,
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepReport":
+        return cls(
+            sweep=str(data["sweep"]),
+            workers=int(data["workers"]),
+            wall_time_seconds=float(data["wall_time_seconds"]),
+            runs=[RunTelemetry.from_dict(entry) for entry in data["runs"]],
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the report as JSON (parent dirs are created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SweepReport":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    def summary(self) -> str:
+        """One human line: the sweep's cache and parallelism story."""
+        parts = [
+            f"sweep {self.sweep!r}: {self.total_runs} runs",
+            f"{self.cache_hits} cached",
+            f"{self.executed} executed in {self.wall_time_seconds:.1f}s "
+            f"on {self.workers} workers",
+        ]
+        if self.parallel_speedup is not None:
+            parts.append(f"speedup {self.parallel_speedup:.1f}x vs serial")
+        if self.saved_seconds > 0:
+            parts.append(f"cache saved ~{self.saved_seconds:.1f}s")
+        return ", ".join(parts)

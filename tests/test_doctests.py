@@ -15,6 +15,7 @@ import repro.engine
 import repro.engine.batch
 import repro.engine.spec
 import repro.experiments.spec
+import repro.sweep.spec
 import repro.tensor.backend
 import repro.tensor.sparse
 
@@ -23,6 +24,7 @@ MODULES = [
     repro.engine.spec,
     repro.engine.batch,
     repro.experiments.spec,
+    repro.sweep.spec,
     repro.tensor.backend,
     repro.tensor.sparse,
 ]
